@@ -1,0 +1,64 @@
+"""Ablation A1 — the localized Δ metric vs. naive merge policies.
+
+XCLUSTERBUILD picks merges by marginal loss under the localized
+structure-value Δ metric (paper Section 4.1).  This ablation compresses
+the same reference synopsis to the same structural budget with (a) the
+Δ-guided builder, (b) uniformly random merges, and (c) a size-greedy
+policy (always merge the two smallest compatible clusters), and compares
+workload error.  The Δ metric must win.
+"""
+
+import copy
+
+from repro.core.baselines import (
+    compress_with_policy,
+    make_smallest_count_policy,
+    random_policy,
+)
+from repro.core.builder import BuildConfig, XClusterBuilder
+from repro.core.sizing import structural_size_bytes
+from repro.experiments import format_table
+from repro.workload import evaluate_synopsis, sanity_bound
+
+BUDGET_FRACTION = 0.1
+
+
+def test_metric_vs_naive_policies(experiment_context, benchmark, capsys):
+    context = experiment_context
+    workload = context.workload("imdb")
+    bound = sanity_bound([wq.exact for wq in workload.queries])
+    reference = context.reference("imdb")
+    budget = int(structural_size_bytes(reference) * BUDGET_FRACTION)
+
+    def run():
+        results = {}
+        guided = context.fresh_reference("imdb")
+        config = BuildConfig(
+            structural_budget=budget,
+            value_budget=10**9,
+            pool_max=context.config.pool_max,
+            pool_min=context.config.pool_min,
+        )
+        XClusterBuilder(config).compress(guided)
+        results["delta-guided"] = evaluate_synopsis(guided, workload, bound).overall
+
+        randomized = context.fresh_reference("imdb")
+        compress_with_policy(randomized, budget, random_policy, seed=17)
+        results["random"] = evaluate_synopsis(randomized, workload, bound).overall
+
+        greedy = context.fresh_reference("imdb")
+        compress_with_policy(greedy, budget, make_smallest_count_policy(greedy))
+        results["size-greedy"] = evaluate_synopsis(greedy, workload, bound).overall
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["Merge policy", "Overall error (%)"],
+        [[name, f"{100 * value:.1f}"] for name, value in results.items()],
+    )
+    with capsys.disabled():
+        print("\n== Ablation A1: merge-selection policy (IMDB, 10% budget) ==")
+        print(rendered)
+
+    assert results["delta-guided"] <= results["random"]
+    assert results["delta-guided"] <= results["size-greedy"]

@@ -1,0 +1,61 @@
+"""Extension — automatic B_str/B_val allocation (paper's deferred idea).
+
+Section 4.3 defers the automatic split of a unified budget to future
+work, sketching a search over Bstr/Bval ratios driven by sample-workload
+error.  This bench runs that search and compares the chosen split with
+fixed naive splits (10/90, 50/50) at the same total budget.
+"""
+
+from repro.core import allocate_budget, total_size_bytes
+from repro.core.builder import BuildConfig, XClusterBuilder
+from repro.experiments import format_table
+from repro.workload import evaluate_synopsis, sanity_bound
+
+TOTAL_FRACTION = 0.35
+
+
+def test_automatic_budget_allocation(experiment_context, benchmark, capsys):
+    context = experiment_context
+    workload = context.workload("imdb")
+    bound = sanity_bound([wq.exact for wq in workload.queries])
+    reference = context.reference("imdb")
+    total = int(total_size_bytes(reference) * TOTAL_FRACTION)
+    sample = [(wq.query, wq.exact) for wq in workload.queries[::3]]
+    config = BuildConfig(
+        pool_max=context.config.pool_max, pool_min=context.config.pool_min
+    )
+
+    def run():
+        auto = allocate_budget(
+            reference, total, sample, config, ratio_grid=(0.05, 0.15, 0.3, 0.5)
+        )
+        rows = [("auto (ratio %.3f)" % auto.ratio,
+                 evaluate_synopsis(auto.synopsis, workload, bound).overall)]
+        for ratio in (0.1, 0.5):
+            synopsis = context.fresh_reference("imdb")
+            fixed = BuildConfig(
+                structural_budget=int(total * ratio),
+                value_budget=total - int(total * ratio),
+                pool_max=config.pool_max,
+                pool_min=config.pool_min,
+            )
+            XClusterBuilder(fixed).compress(synopsis)
+            rows.append(
+                (f"fixed {ratio:.0%} structural",
+                 evaluate_synopsis(synopsis, workload, bound).overall)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["Budget split", "Overall error (%)"],
+        [[name, f"{100 * value:.1f}"] for name, value in rows],
+    )
+    with capsys.disabled():
+        print(f"\n== Extension: automatic budget split (IMDB, {total} bytes) ==")
+        print(rendered)
+
+    auto_error = rows[0][1]
+    # The searched split must not lose to the naive fixed splits (it saw
+    # a third of the workload as its sample).
+    assert auto_error <= min(error for _, error in rows[1:]) + 0.02

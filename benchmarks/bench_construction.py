@@ -1,0 +1,47 @@
+"""Construction cost — XCLUSTERBUILD timing and pool behaviour.
+
+The paper motivates the localized Δ metric and the bounded candidate
+pool (``H_m`` / ``H_l``) with construction efficiency (Section 4.3).
+These benches measure the real costs: reference-synopsis construction,
+and a full budgeted build at two pool configurations.
+"""
+
+import pytest
+
+from repro.core import build_reference_synopsis
+from repro.core.builder import BuildConfig, XClusterBuilder
+from repro.core.sizing import structural_size_bytes
+
+
+def test_reference_construction_time(experiment_context, benchmark):
+    dataset = experiment_context.dataset("imdb")
+    synopsis = benchmark.pedantic(
+        build_reference_synopsis,
+        args=(dataset.tree, dataset.value_paths),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(synopsis) > 10
+
+
+@pytest.mark.parametrize("pool_max,pool_min", [(2000, 1000), (8000, 4000)])
+def test_budgeted_build_time(experiment_context, benchmark, pool_max, pool_min):
+    context = experiment_context
+    reference = context.reference("imdb")
+    budget = structural_size_bytes(reference) // 10
+
+    def run():
+        synopsis = context.fresh_reference("imdb")
+        config = BuildConfig(
+            structural_budget=budget,
+            value_budget=10**9,
+            pool_max=pool_max,
+            pool_min=pool_min,
+        )
+        builder = XClusterBuilder(config)
+        builder.compress(synopsis)
+        return builder.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.structural_budget_met
+    assert stats.merges_applied > 0

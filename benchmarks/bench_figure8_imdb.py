@@ -1,0 +1,37 @@
+"""Figure 8(a) — IMDB: relative estimation error vs. synopsis size.
+
+Regenerates the five series of the paper's Figure 8(a) (Text, String,
+Numeric, Struct, Overall) over the structural-budget sweep at fixed
+value budget, and checks the paper's qualitative claims:
+
+* the overall error at the largest budget is below ~15%;
+* the overall error does not degrade as budget grows (decreasing trend);
+* structural queries stay accurate (< 5%) at modest budgets.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.figures import FIGURE8_SERIES
+
+
+def test_figure8_imdb(figure8, benchmark, capsys):
+    result = benchmark.pedantic(figure8, args=("imdb",), rounds=1, iterations=1)
+    table = result.as_series_table()
+    rendered = format_series(
+        "== Figure 8(a): IMDB — Avg. Rel. Error (%) vs Synopsis Size (KB) ==",
+        "Size(KB)",
+        result.total_kb,
+        [table[name] for name, _ in FIGURE8_SERIES],
+        [name for name, _ in FIGURE8_SERIES],
+    )
+    with capsys.disabled():
+        print()
+        print(rendered)
+
+    overall = table["Overall"]
+    assert overall[-1] < 0.15
+    # Largest budget at least as good as the smallest structural summary.
+    assert overall[-1] <= overall[0] + 0.05
+    struct = table["Struct"]
+    assert all(error < 0.05 for error in struct[2:])
+    numeric = table["Numeric"]
+    assert numeric[-1] < 0.05

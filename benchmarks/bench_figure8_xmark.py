@@ -1,0 +1,42 @@
+"""Figure 8(b) — XMark: relative estimation error vs. synopsis size.
+
+Regenerates the five series of the paper's Figure 8(b).  Checked shape
+claims (paper Section 6.2):
+
+* the final overall error is well below the error of the smallest
+  structural summary (the paper reports 63% -> <10% on XMark);
+* TEXT error starts highest among the classes (XMark's low-selectivity
+  keyword predicates) and decreases with budget;
+* structural error stays below 5% at modest budgets.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.figures import FIGURE8_SERIES
+
+
+def test_figure8_xmark(figure8, benchmark, capsys):
+    result = benchmark.pedantic(figure8, args=("xmark",), rounds=1, iterations=1)
+    table = result.as_series_table()
+    rendered = format_series(
+        "== Figure 8(b): XMark — Avg. Rel. Error (%) vs Synopsis Size (KB) ==",
+        "Size(KB)",
+        result.total_kb,
+        [table[name] for name, _ in FIGURE8_SERIES],
+        [name for name, _ in FIGURE8_SERIES],
+    )
+    with capsys.disabled():
+        print()
+        print(rendered)
+
+    overall = table["Overall"]
+    assert overall[-1] < 0.15
+    assert overall[-1] < max(overall[:3]) / 2  # strong decreasing trend
+    text = table["Text"]
+    assert text[0] == max(
+        table[name][0]
+        for name in ("Text", "String", "Numeric", "Struct")
+        if table[name][0] == table[name][0]
+    )
+    assert text[-1] < text[0]
+    struct = table["Struct"]
+    assert all(error < 0.05 for error in struct)

@@ -1,0 +1,34 @@
+"""Figure 9 — absolute estimation error for low-count queries.
+
+The paper's Figure 9 explains the high *relative* TEXT errors of Figure
+8(b): queries whose true size falls below the sanity bound have tiny
+absolute errors (the paper reports ~1.09 tuples for XMark TEXT), so the
+relative numbers are artifacts of small denominators.  This bench prints
+the same per-class absolute-error table at the largest budget point.
+"""
+
+from repro.experiments import figure9_rows, format_table
+
+
+def test_figure9_low_count_absolute_error(figure8, benchmark, capsys):
+    def run():
+        return figure9_rows(figure8("imdb"), figure8("xmark"))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["", "IMDB", "XMark"],
+        [
+            [row.query_class.value.capitalize(), f"{row.imdb:.3f}", f"{row.xmark:.3f}"]
+            for row in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Figure 9: Absolute error for low-count queries ==")
+        print(rendered)
+
+    assert len(rows) == 3
+    for row in rows:
+        # The paper's values range from 0 to 5.12 tuples; absolute errors
+        # on low-count queries must stay within a few tuples.
+        assert 0.0 <= row.imdb < 10.0
+        assert 0.0 <= row.xmark < 10.0

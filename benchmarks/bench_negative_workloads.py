@@ -1,0 +1,34 @@
+"""Negative workloads — near-zero estimates at every budget.
+
+The paper reports (Section 6.1, without a figure) that XClusters
+"consistently yield close to zero estimates for all space budgets" on
+zero-selectivity workloads.  This bench verifies it across the sweep.
+"""
+
+from repro.experiments import format_table, negative_workload_estimates
+
+FRACTIONS = (0.0, 0.1, 0.35, 1.0)
+
+
+def test_negative_workload_estimates(experiment_context, benchmark, capsys):
+    def run():
+        return {
+            name: negative_workload_estimates(experiment_context, name, FRACTIONS)
+            for name in ("imdb", "xmark")
+        }
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["Struct. fraction", *[f"{fraction:.2f}" for fraction in FRACTIONS]],
+        [
+            [name, *[f"{value:.3f}" for value in values]]
+            for name, values in averages.items()
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Negative workloads: average estimate (tuples) per budget ==")
+        print(rendered)
+
+    for values in averages.values():
+        for value in values:
+            assert value < 2.0  # "close to zero" at every budget

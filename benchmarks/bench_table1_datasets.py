@@ -1,0 +1,36 @@
+"""Table 1 — data-set characteristics (paper Section 6.1).
+
+Prints, for each dataset: serialized file size, element count, reference
+synopsis size, and reference node counts (value-summarized / total) —
+the same columns as the paper's Table 1.
+"""
+
+from repro.experiments import format_table, table1_rows
+
+
+def test_table1_dataset_characteristics(experiment_context, benchmark, capsys):
+    rows = benchmark.pedantic(
+        table1_rows, args=(experiment_context,), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        ["Dataset", "File Size (MB)", "# Elements", "Ref. Size (KB)",
+         "# Nodes: Value/Total"],
+        [
+            [
+                row.dataset,
+                f"{row.file_size_mb:.2f}",
+                row.element_count,
+                f"{row.reference_size_kb:.1f}",
+                f"{row.value_nodes} / {row.total_nodes}",
+            ]
+            for row in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Table 1: Data Set Characteristics ==")
+        print(rendered)
+
+    assert len(rows) == 2
+    for row in rows:
+        assert 0 < row.value_nodes <= row.total_nodes
+        assert row.reference_size_kb > 0

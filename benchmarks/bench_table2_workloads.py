@@ -1,0 +1,31 @@
+"""Table 2 — workload characteristics (paper Section 6.1).
+
+Prints the average result size of the structural queries and of the
+queries with value predicates, per dataset — the paper's Table 2.
+"""
+
+from repro.experiments import format_table, table2_rows
+
+
+def test_table2_workload_characteristics(experiment_context, benchmark, capsys):
+    rows = benchmark.pedantic(
+        table2_rows, args=(experiment_context,), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        ["Dataset", "Avg. Result Size (Struct)", "Avg. Result Size (Pred)"],
+        [
+            [row.dataset, f"{row.avg_result_struct:.0f}", f"{row.avg_result_pred:.0f}"]
+            for row in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Table 2: Workload Characteristics ==")
+        print(rendered)
+
+    assert len(rows) == 2
+    for row in rows:
+        assert row.avg_result_struct > 0
+        assert row.avg_result_pred > 0
+        # Predicates filter: predicate queries return fewer tuples on
+        # average than pure structural queries (as in the paper).
+        assert row.avg_result_pred < row.avg_result_struct

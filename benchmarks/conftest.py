@@ -1,0 +1,59 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every bench regenerates one table or figure of the paper's Section 6 and
+prints the same rows/series.  The experiment scale is configurable::
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only -s
+
+The default (0.35) keeps the full bench run at a few minutes of pure
+Python.  Figure sweeps are computed once per session and shared between
+the benches that consume them (Figure 8 feeds Figure 9).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext, figure8_series
+
+DEFAULT_SCALE = 0.35
+DEFAULT_QUERIES_PER_CLASS = 15
+SWEEP_FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.35, 0.55, 1.0)
+
+
+@pytest.fixture(scope="session")
+def experiment_context() -> ExperimentContext:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+    queries = int(
+        os.environ.get("REPRO_BENCH_QUERIES", DEFAULT_QUERIES_PER_CLASS)
+    )
+    config = ExperimentConfig(
+        scale=scale,
+        queries_per_class=queries,
+        structural_fractions=SWEEP_FRACTIONS,
+        pool_max=8000,
+        pool_min=4000,
+    )
+    return ExperimentContext(config)
+
+
+@pytest.fixture(scope="session")
+def figure8_cache():
+    """Session cache of Figure 8 sweep results, keyed by dataset."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def figure8(experiment_context, figure8_cache):
+    """Accessor computing (once) the Figure 8 sweep for a dataset."""
+
+    def get(dataset_name: str):
+        if dataset_name not in figure8_cache:
+            figure8_cache[dataset_name] = figure8_series(
+                experiment_context, dataset_name
+            )
+        return figure8_cache[dataset_name]
+
+    return get

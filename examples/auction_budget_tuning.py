@@ -1,0 +1,68 @@
+"""Accuracy-vs-size tuning on the XMark auction dataset.
+
+Shows how a downstream user picks a synopsis budget: sweep the
+structural budget (with the value budget fixed, as in the paper's
+Figure 8), measure workload error per predicate class at every point,
+and select the smallest synopsis meeting an error target.
+
+Run with::
+
+    python examples/auction_budget_tuning.py [scale]
+"""
+
+import sys
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    figure8_series,
+    format_series,
+)
+from repro.experiments.figures import FIGURE8_SERIES
+
+ERROR_TARGET = 0.20  # accept at most 20% average relative error
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    config = ExperimentConfig(
+        scale=scale,
+        queries_per_class=12,
+        structural_fractions=(0.0, 0.1, 0.2, 0.35, 0.55, 1.0),
+        pool_max=4000,
+        pool_min=2000,
+    )
+    context = ExperimentContext(config)
+    result = figure8_series(context, "xmark")
+
+    table = result.as_series_table()
+    print(
+        format_series(
+            "XMark: average relative error (%) vs synopsis size (KB)",
+            "Size(KB)",
+            result.total_kb,
+            [table[name] for name, _ in FIGURE8_SERIES],
+            [name for name, _ in FIGURE8_SERIES],
+        )
+    )
+
+    chosen = None
+    for point in result.points:
+        if point.report.overall <= ERROR_TARGET:
+            chosen = point
+            break
+    print()
+    if chosen is None:
+        print(f"No sweep point meets the {100 * ERROR_TARGET:.0f}% target; "
+              "raise the budget ceiling.")
+    else:
+        print(
+            f"Smallest synopsis meeting the {100 * ERROR_TARGET:.0f}% target: "
+            f"{chosen.total_kb:.1f} KB "
+            f"({chosen.structural_bytes} structural + {chosen.value_bytes} value bytes) "
+            f"at overall error {100 * chosen.report.overall:.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

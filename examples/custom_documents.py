@@ -1,0 +1,92 @@
+"""Summarizing your own XML: parse, type, build, and query.
+
+Demonstrates the full public API on user-supplied XML text: the built-in
+parser with a ``type_map`` controlling how character data becomes typed
+element values, reference-synopsis construction over chosen value paths,
+budgeted compression, and selectivity estimation.
+
+Run with::
+
+    python examples/custom_documents.py
+"""
+
+from repro import (
+    build_xcluster,
+    estimate_selectivity,
+    evaluate_selectivity,
+    parse_string,
+    parse_twig,
+    total_size_bytes,
+)
+from repro.xmltree import ValueType
+
+CATALOG = """
+<catalog>
+  <product>
+    <sku>Widget Deluxe</sku>
+    <price>1299</price>
+    <review>great value sturdy build would recommend to anyone shopping</review>
+    <review>arrived broken poor packaging disappointing experience overall sadly</review>
+  </product>
+  <product>
+    <sku>Widget Mini</sku>
+    <price>499</price>
+    <review>compact light great travel companion highly recommend this widget</review>
+  </product>
+  <product>
+    <sku>Gadget Pro</sku>
+    <price>2599</price>
+    <review>professional grade excellent build quality worth every cent paid</review>
+    <review>firmware update broke sync support was helpful though eventually</review>
+    <review>great gadget replaced my old one instantly better display</review>
+  </product>
+  <product>
+    <sku>Gadget Lite</sku>
+    <price>899</price>
+  </product>
+</catalog>
+"""
+
+TYPE_MAP = {
+    "sku": ValueType.STRING,
+    "price": ValueType.NUMERIC,
+    "review": ValueType.TEXT,
+}
+
+VALUE_PATHS = [
+    ("catalog", "product", "sku"),
+    ("catalog", "product", "price"),
+    ("catalog", "product", "review"),
+]
+
+
+def main() -> None:
+    tree = parse_string(CATALOG, type_map=TYPE_MAP)
+    print(f"Parsed catalog: {len(tree)} elements")
+
+    synopsis = build_xcluster(
+        tree,
+        structural_budget=256,
+        value_budget=1024,
+        value_paths=VALUE_PATHS,
+    )
+    print(
+        f"Synopsis: {len(synopsis)} clusters, {total_size_bytes(synopsis)} bytes\n"
+    )
+
+    queries = [
+        "//product[./price >= 1000]/sku",
+        "//product/sku[. contains(Widget)]",
+        "//product[./review ftcontains(great)]/price",
+        "//product[./sku contains(Gadget)][./price <= 1000]",
+    ]
+    print(f"{'query':<52} {'exact':>6} {'estimate':>9}")
+    for text in queries:
+        query = parse_twig(text)
+        exact = evaluate_selectivity(tree, query)
+        estimate = estimate_selectivity(synopsis, query)
+        print(f"{text:<52} {exact:>6} {estimate:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""XCluster synopses for structured XML content — ICDE 2006 reproduction.
+
+A complete implementation of the XCluster summarization model of
+Polyzotis & Garofalakis: structure-value clustering synopses for XML
+documents with heterogeneous (numeric / string / text) element values,
+supporting selectivity estimation for twig queries with range, substring,
+and IR-style keyword predicates.
+
+Quickstart::
+
+    from repro import (
+        build_xcluster, estimate_selectivity, evaluate_selectivity, parse_twig,
+    )
+    from repro.datasets import generate_imdb
+
+    dataset = generate_imdb(scale=0.2)
+    synopsis = build_xcluster(
+        dataset.tree, structural_budget=4096, value_budget=32768,
+        value_paths=dataset.value_paths,
+    )
+    query = parse_twig("//movie[./year >= 2000]/title")
+    print(estimate_selectivity(synopsis, query))      # synopsis estimate
+    print(evaluate_selectivity(dataset.tree, query))  # exact count
+"""
+
+from repro.core import (
+    BuildConfig,
+    XClusterBuilder,
+    XClusterEstimator,
+    XClusterSynopsis,
+    build_reference_synopsis,
+    build_tag_synopsis,
+    build_xcluster,
+    estimate_selectivity,
+    structural_size_bytes,
+    total_size_bytes,
+    value_size_bytes,
+)
+from repro.query import evaluate_selectivity, parse_twig
+from repro.xmltree import XMLElement, XMLTree, parse_string
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildConfig",
+    "XClusterBuilder",
+    "XClusterEstimator",
+    "XClusterSynopsis",
+    "build_reference_synopsis",
+    "build_tag_synopsis",
+    "build_xcluster",
+    "estimate_selectivity",
+    "evaluate_selectivity",
+    "parse_twig",
+    "structural_size_bytes",
+    "total_size_bytes",
+    "value_size_bytes",
+    "XMLElement",
+    "XMLTree",
+    "parse_string",
+    "__version__",
+]

@@ -1,0 +1,177 @@
+"""Command-line interface for the XCluster reproduction.
+
+Subcommands::
+
+    python -m repro summarize INPUT.xml -o synopsis.json \
+        --structural-budget 4096 --value-budget 32768
+    python -m repro estimate synopsis.json "//movie[./year >= 2000]/title"
+    python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title"
+    python -m repro experiments [--scale 0.25] [--queries 15]
+
+``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
+and saves it; ``estimate`` loads a saved synopsis and prints the
+estimated selectivity of a twig query; ``evaluate`` prints the exact
+selectivity against the raw document; ``experiments`` regenerates every
+table and figure of the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    build_xcluster,
+    estimate_selectivity,
+    load_synopsis,
+    save_synopsis,
+    structural_size_bytes,
+    total_size_bytes,
+    value_size_bytes,
+)
+from repro.query import evaluate_selectivity, parse_twig
+from repro.xmltree import parse_document
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    tree = parse_document(args.input)
+    synopsis = build_xcluster(
+        tree,
+        structural_budget=args.structural_budget,
+        value_budget=args.value_budget,
+    )
+    save_synopsis(synopsis, args.output)
+    print(
+        f"{args.input}: {len(tree)} elements -> {len(synopsis)} clusters, "
+        f"{structural_size_bytes(synopsis)} structural + "
+        f"{value_size_bytes(synopsis)} value bytes "
+        f"({total_size_bytes(synopsis)} total) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    synopsis = load_synopsis(args.synopsis)
+    query = parse_twig(args.query)
+    print(f"{estimate_selectivity(synopsis, query):.3f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    tree = parse_document(args.input)
+    query = parse_twig(args.query)
+    print(evaluate_selectivity(tree, query))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the dataset generators.
+    from repro.experiments import (
+        ExperimentConfig,
+        ExperimentContext,
+        figure8_series,
+        figure9_rows,
+        format_series,
+        format_table,
+        table1_rows,
+        table2_rows,
+    )
+    from repro.experiments.figures import FIGURE8_SERIES
+
+    config = ExperimentConfig(scale=args.scale, queries_per_class=args.queries)
+    context = ExperimentContext(config)
+
+    print("== Table 1: Data Set Characteristics ==")
+    print(
+        format_table(
+            ["Dataset", "File Size (MB)", "# Elements", "Ref. Size (KB)",
+             "# Nodes: Value/Total"],
+            [
+                [row.dataset, f"{row.file_size_mb:.2f}", row.element_count,
+                 f"{row.reference_size_kb:.1f}",
+                 f"{row.value_nodes} / {row.total_nodes}"]
+                for row in table1_rows(context)
+            ],
+        )
+    )
+    print("\n== Table 2: Workload Characteristics ==")
+    print(
+        format_table(
+            ["Dataset", "Avg. Result (Struct)", "Avg. Result (Pred)"],
+            [
+                [row.dataset, f"{row.avg_result_struct:.0f}",
+                 f"{row.avg_result_pred:.0f}"]
+                for row in table2_rows(context)
+            ],
+        )
+    )
+
+    results = {}
+    for name, figure in (("imdb", "8(a)"), ("xmark", "8(b)")):
+        result = figure8_series(context, name)
+        results[name] = result
+        table = result.as_series_table()
+        print(
+            "\n"
+            + format_series(
+                f"== Figure {figure}: {name} — Avg. Rel. Error (%) vs Size (KB) ==",
+                "Size(KB)",
+                result.total_kb,
+                [table[series_name] for series_name, _ in FIGURE8_SERIES],
+                [series_name for series_name, _ in FIGURE8_SERIES],
+            )
+        )
+
+    print("\n== Figure 9: Absolute error for low-count queries ==")
+    print(
+        format_table(
+            ["", "IMDB", "XMark"],
+            [
+                [row.query_class.value.capitalize(), f"{row.imdb:.3f}",
+                 f"{row.xmark:.3f}"]
+                for row in figure9_rows(results["imdb"], results["xmark"])
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="XCluster synopses (ICDE 2006 reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser("summarize", help="build and save a synopsis")
+    summarize.add_argument("input", help="XML document to summarize")
+    summarize.add_argument("-o", "--output", required=True, help="synopsis JSON path")
+    summarize.add_argument("--structural-budget", type=int, default=4096)
+    summarize.add_argument("--value-budget", type=int, default=32768)
+    summarize.set_defaults(handler=_cmd_summarize)
+
+    estimate = commands.add_parser("estimate", help="estimate a twig's selectivity")
+    estimate.add_argument("synopsis", help="synopsis JSON path")
+    estimate.add_argument("query", help="twig query, e.g. //a[./b >= 3]/c")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    evaluate = commands.add_parser("evaluate", help="exact selectivity on a document")
+    evaluate.add_argument("input", help="XML document")
+    evaluate.add_argument("query", help="twig query")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("--scale", type=float, default=0.25)
+    experiments.add_argument("--queries", type=int, default=15)
+    experiments.set_defaults(handler=_cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""XCluster core: the synopsis model, construction, and estimation.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.synopsis` — the type-respecting node-partitioning
+  graph-synopsis model with element counts, average per-edge child
+  counters, and per-node value summaries (Definition 3.1);
+* :mod:`repro.core.reference` — the detailed reference synopsis (a
+  path-respecting count-stable refinement, Section 4.3);
+* :mod:`repro.core.distance` — the localized Δ(S, S′) structure-value
+  clustering error metric over atomic query paths (Section 4.1);
+* :mod:`repro.core.builder` — the two-phase XCLUSTERBUILD algorithm
+  (structure-value merge with a marginal-loss candidate pool, then
+  value-summary compression; Figures 5 and 6);
+* :mod:`repro.core.estimator` — embedding-based twig selectivity
+  estimation under generalized Path-Value Independence (Section 5);
+* :mod:`repro.core.sizing` — byte-accurate storage accounting;
+* :mod:`repro.core.baselines` — tag-only and structure-only summaries
+  plus naive merge policies used by the ablation benchmarks.
+"""
+
+from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.core.reference import build_reference_synopsis, build_tag_synopsis
+from repro.core.distance import merge_delta, compression_delta
+from repro.core.builder import BuildConfig, XClusterBuilder, build_xcluster
+from repro.core.approximate import DocumentSynthesizer, synthesize_document
+from repro.core.autobudget import (
+    AutoBudgetResult,
+    allocate_budget,
+    build_xcluster_auto,
+)
+from repro.core.estimator import XClusterEstimator, estimate_selectivity
+from repro.core.explain import EstimateExplanation, explain
+from repro.core.serialization import (
+    SynopsisFormatError,
+    load_synopsis,
+    save_synopsis,
+    synopsis_from_dict,
+    synopsis_to_dict,
+)
+from repro.core.sizing import structural_size_bytes, value_size_bytes, total_size_bytes
+
+__all__ = [
+    "SynopsisNode",
+    "XClusterSynopsis",
+    "build_reference_synopsis",
+    "build_tag_synopsis",
+    "merge_delta",
+    "compression_delta",
+    "BuildConfig",
+    "XClusterBuilder",
+    "build_xcluster",
+    "XClusterEstimator",
+    "estimate_selectivity",
+    "DocumentSynthesizer",
+    "synthesize_document",
+    "EstimateExplanation",
+    "explain",
+    "AutoBudgetResult",
+    "allocate_budget",
+    "build_xcluster_auto",
+    "SynopsisFormatError",
+    "save_synopsis",
+    "load_synopsis",
+    "synopsis_to_dict",
+    "synopsis_from_dict",
+    "structural_size_bytes",
+    "value_size_bytes",
+    "total_size_bytes",
+]

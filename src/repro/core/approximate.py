@@ -1,0 +1,115 @@
+"""Approximate query answers: synthesize a document from a synopsis.
+
+The TreeSketch work the paper extends ("Approximate XML Query Answers",
+SIGMOD 2004) uses structural synopses not only for selectivity
+estimation but to *answer* queries approximately, by expanding the
+synopsis back into a small surrogate document.  This module provides
+that capability for XClusters, values included: every cluster expands to
+its counted elements, child cardinalities follow the average edge
+counters (stochastic rounding preserves them in expectation), and
+element values are drawn from the cluster's value summary.
+
+Running a twig query over the synthesized document with the exact
+evaluator gives an *approximate answer set* whose cardinality tracks the
+synopsis estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.xmltree.tree import XMLElement, XMLTree
+from repro.xmltree.types import ValueType
+
+
+class SynthesisBudgetExceeded(RuntimeError):
+    """Raised when expansion would exceed the element budget."""
+
+
+class DocumentSynthesizer:
+    """Expands a synopsis into a synthetic document.
+
+    Args:
+        synopsis: the synopsis to expand (not mutated).
+        seed: RNG seed; expansion is deterministic per seed.
+        max_elements: hard cap on synthesized elements (cycles introduced
+            by merges could otherwise expand forever).
+        max_depth: cap on the synthesized tree depth.
+    """
+
+    def __init__(
+        self,
+        synopsis: XClusterSynopsis,
+        seed: int = 0,
+        max_elements: int = 200_000,
+        max_depth: int = 40,
+    ) -> None:
+        self.synopsis = synopsis
+        self.rng = random.Random(seed)
+        self.max_elements = max_elements
+        self.max_depth = max_depth
+        self._emitted = 0
+
+    def synthesize(self) -> XMLTree:
+        """Expand the whole synopsis from its root cluster."""
+        root_cluster = self.synopsis.root
+        self._emitted = 0
+        root = self._make_element(root_cluster)
+        self._expand(root, root_cluster, depth=0)
+        return XMLTree(root)
+
+    # -- internals ----------------------------------------------------------
+
+    def _make_element(self, cluster: SynopsisNode) -> XMLElement:
+        if self._emitted >= self.max_elements:
+            raise SynthesisBudgetExceeded(
+                f"synthesis exceeded {self.max_elements} elements"
+            )
+        self._emitted += 1
+        value = None
+        if cluster.vsumm is not None:
+            value = cluster.vsumm.sample_value(self.rng)
+        elif cluster.value_type is not ValueType.NULL:
+            value = self._default_value(cluster)
+        return XMLElement(cluster.label, value)
+
+    @staticmethod
+    def _default_value(cluster: SynopsisNode):
+        """Placeholder values for valued clusters without summaries."""
+        if cluster.value_type is ValueType.NUMERIC:
+            return 0
+        if cluster.value_type is ValueType.STRING:
+            return "?"
+        return frozenset()
+
+    def _stochastic_count(self, average: float) -> int:
+        """An integer with expectation ``average`` (floor + Bernoulli)."""
+        base = int(average)
+        fraction = average - base
+        if fraction > 0.0 and self.rng.random() < fraction:
+            base += 1
+        return base
+
+    def _expand(self, element: XMLElement, cluster: SynopsisNode, depth: int) -> None:
+        if depth >= self.max_depth:
+            return
+        for child_id, average in cluster.children.items():
+            child_cluster = self.synopsis.node(child_id)
+            for _ in range(self._stochastic_count(average)):
+                child = self._make_element(child_cluster)
+                element.append_child(child)
+                self._expand(child, child_cluster, depth + 1)
+
+
+def synthesize_document(
+    synopsis: XClusterSynopsis,
+    seed: int = 0,
+    max_elements: int = 200_000,
+    max_depth: Optional[int] = 40,
+) -> XMLTree:
+    """One-call synthesis (see :class:`DocumentSynthesizer`)."""
+    return DocumentSynthesizer(
+        synopsis, seed, max_elements, max_depth if max_depth is not None else 40
+    ).synthesize()

@@ -1,0 +1,330 @@
+"""XCLUSTERBUILD: two-phase synopsis construction (paper Section 4.3).
+
+Phase 1 — **structure-value merge** — compresses the reference synopsis'
+graph down to the structural budget ``B_str`` by repeatedly applying the
+candidate merge with the smallest *marginal loss* (Δ per byte saved),
+using the level-bounded candidate pool of :mod:`repro.core.pool`:
+merges start among leaves (level 0/1) and the level bound grows as
+merged nodes make their parents' merges attractive.
+
+Phase 2 — **value-summary compression** — compresses the per-node value
+summaries down to the value budget ``B_val`` by repeatedly applying the
+cheapest ``hist_cmprs`` / ``st_cmprs`` / ``tv_cmprs`` step, ranked by the
+same marginal-loss rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.distance import SelectivityCache, compression_delta
+from repro.core.pool import CandidatePool, build_pool
+from repro.core.reference import LabelPath, build_reference_synopsis
+from repro.core.sizing import structural_size_bytes, value_size_bytes
+from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    SummaryConfig,
+    TextSummary,
+    ValueSummary,
+)
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class BuildConfig:
+    """Parameters of XCLUSTERBUILD.
+
+    Attributes:
+        structural_budget: ``B_str`` in bytes (graph nodes + edges).
+        value_budget: ``B_val`` in bytes (all value summaries).
+        pool_max: ``H_m``, the maximum candidate-pool size.
+        pool_min: ``H_l``, the pool size at which it is replenished.
+        predicate_limit: atomic predicates per summary in the Δ metric.
+        neighbors: similarity neighbors per node during pool generation.
+        histogram_step: buckets removed per ``hist_cmprs`` step.
+        string_step: PST leaves pruned per ``st_cmprs`` step.
+        text_step: terms demoted per ``tv_cmprs`` step.
+        summary: construction knobs for the detailed reference summaries.
+    """
+
+    structural_budget: int = 4096
+    value_budget: int = 16384
+    pool_max: int = 10000
+    pool_min: int = 5000
+    predicate_limit: int = 32
+    neighbors: int = 8
+    histogram_step: int = 1
+    string_step: int = 8
+    text_step: int = 4
+    summary: SummaryConfig = field(default_factory=SummaryConfig)
+
+
+@dataclass
+class BuildStats:
+    """Diagnostics of one construction run."""
+
+    merges_applied: int = 0
+    value_steps_applied: int = 0
+    pool_rebuilds: int = 0
+    final_structural_bytes: int = 0
+    final_value_bytes: int = 0
+    structural_budget_met: bool = False
+    value_budget_met: bool = False
+    reference_nodes: int = 0
+    final_nodes: int = 0
+
+
+@dataclass(order=True)
+class _ValueCandidate:
+    marginal_loss: float
+    node_id: int = field(compare=False)
+    #: The summary this candidate was computed against; the candidate is
+    #: stale once the node carries a different object.
+    source_summary: ValueSummary = field(compare=False)
+    compressed: ValueSummary = field(compare=False)
+    delta: float = field(compare=False)
+    saving: int = field(compare=False)
+
+
+class XClusterBuilder:
+    """Builds an XCluster synopsis for a storage budget (paper Figure 5)."""
+
+    def __init__(self, config: Optional[BuildConfig] = None) -> None:
+        self.config = config if config is not None else BuildConfig()
+        self.stats = BuildStats()
+        self._cache: SelectivityCache = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def build(
+        self,
+        tree: XMLTree,
+        value_paths: Optional[Sequence[LabelPath]] = None,
+    ) -> XClusterSynopsis:
+        """Construct a budgeted synopsis directly from a document."""
+        reference = build_reference_synopsis(
+            tree, value_paths, self.config.summary
+        )
+        return self.compress(reference)
+
+    def compress(self, synopsis: XClusterSynopsis) -> XClusterSynopsis:
+        """Compress an existing (reference) synopsis in place to budget.
+
+        Returns the same synopsis object for convenience.
+        """
+        self.stats = BuildStats(reference_nodes=len(synopsis))
+        self._cache = {}
+        self._merge_phase(synopsis)
+        self._value_phase(synopsis)
+        self.stats.final_structural_bytes = structural_size_bytes(synopsis)
+        self.stats.final_value_bytes = value_size_bytes(synopsis)
+        self.stats.structural_budget_met = (
+            self.stats.final_structural_bytes <= self.config.structural_budget
+        )
+        self.stats.value_budget_met = (
+            self.stats.final_value_bytes <= self.config.value_budget
+        )
+        self.stats.final_nodes = len(synopsis)
+        return synopsis
+
+    # -- phase 1: structure-value merge ------------------------------------------
+
+    def _merge_phase(self, synopsis: XClusterSynopsis) -> None:
+        config = self.config
+        structural = structural_size_bytes(synopsis)
+        if structural <= config.structural_budget:
+            return
+
+        levels = synopsis.levels()
+        max_level_cap = max(levels.values(), default=0) + 1
+        level_limit = 1
+        pool = build_pool(
+            synopsis,
+            config.pool_max,
+            level_limit,
+            levels,
+            config.predicate_limit,
+            config.neighbors,
+            self._cache,
+        )
+        self.stats.pool_rebuilds += 1
+        group_index = self._group_index(synopsis)
+
+        while structural > config.structural_budget:
+            drain_floor = (
+                0
+                if level_limit >= max_level_cap
+                else min(config.pool_min, len(pool) // 2)
+            )
+            stage_max_new_level = 0
+            progressed = False
+            while len(pool) > drain_floor and structural > config.structural_budget:
+                candidate = pool.pop_best()
+                if candidate is None:
+                    break
+                u_id, v_id = candidate.u_id, candidate.v_id
+                new_level = min(levels.get(u_id, 0), levels.get(v_id, 0))
+                merged = synopsis.merge_nodes(u_id, v_id)
+                structural -= candidate.size_saving
+                progressed = True
+                self.stats.merges_applied += 1
+                levels[merged.node_id] = new_level
+                stage_max_new_level = max(stage_max_new_level, new_level)
+                self._update_group_index(group_index, merged, u_id, v_id)
+                pool.bump_versions(
+                    [merged.node_id, *merged.parents, *merged.children]
+                )
+                self._add_local_candidates(
+                    pool, group_index, merged, levels, level_limit
+                )
+            if structural <= config.structural_budget:
+                break
+            next_limit = max(level_limit + 1, stage_max_new_level + 1)
+            if not progressed and len(pool) == 0 and level_limit >= max_level_cap:
+                break  # no compatible merges remain anywhere
+            level_limit = min(next_limit, max_level_cap)
+            levels = synopsis.levels()
+            max_level_cap = max(levels.values(), default=0) + 1
+            pool = build_pool(
+                synopsis,
+                config.pool_max,
+                level_limit,
+                levels,
+                config.predicate_limit,
+                config.neighbors,
+                self._cache,
+            )
+            self.stats.pool_rebuilds += 1
+            if len(pool) == 0 and level_limit >= max_level_cap:
+                break
+
+    @staticmethod
+    def _group_index(synopsis: XClusterSynopsis) -> Dict[Tuple, List[int]]:
+        groups: Dict[Tuple, List[int]] = {}
+        for node in synopsis:
+            groups.setdefault(node.merge_key(), []).append(node.node_id)
+        return groups
+
+    @staticmethod
+    def _update_group_index(
+        groups: Dict[Tuple, List[int]],
+        merged: SynopsisNode,
+        u_id: int,
+        v_id: int,
+    ) -> None:
+        members = groups.setdefault(merged.merge_key(), [])
+        members[:] = [m for m in members if m not in (u_id, v_id)]
+        members.append(merged.node_id)
+
+    def _add_local_candidates(
+        self,
+        pool: CandidatePool,
+        groups: Dict[Tuple, List[int]],
+        merged: SynopsisNode,
+        levels: Dict[int, int],
+        level_limit: int,
+    ) -> None:
+        """Pair a freshly merged node with a few compatible peers.
+
+        Full similarity-sorted generation happens at pool replenish time;
+        here a bounded number of peers keeps per-merge cost constant.
+        """
+        members = groups.get(merged.merge_key(), [])
+        budget = self.config.neighbors * 2
+        added = 0
+        for peer_id in reversed(members):
+            if peer_id == merged.node_id:
+                continue
+            if levels.get(peer_id, 0) > level_limit:
+                continue
+            pool.push_pair(merged.node_id, peer_id)
+            added += 1
+            if added >= budget:
+                break
+        pool.enforce_capacity()
+
+    # -- phase 2: value-summary compression -----------------------------------------
+
+    def _compression_step(self, summary: ValueSummary) -> int:
+        if isinstance(summary, HistogramSummary):
+            return self.config.histogram_step
+        if isinstance(summary, StringSummary):
+            return self.config.string_step
+        if isinstance(summary, TextSummary):
+            return self.config.text_step
+        return 1
+
+    def _value_candidate(self, node: SynopsisNode) -> Optional[_ValueCandidate]:
+        summary = node.vsumm
+        if summary is None or not summary.can_compress:
+            return None
+        compressed = summary.compress(self._compression_step(summary))
+        if compressed is None:
+            return None
+        saving = summary.size_bytes() - compressed.size_bytes()
+        if saving <= 0:
+            return None
+        delta = compression_delta(
+            node, compressed, self.config.predicate_limit, self._cache
+        )
+        return _ValueCandidate(
+            marginal_loss=delta / saving,
+            node_id=node.node_id,
+            source_summary=summary,
+            compressed=compressed,
+            delta=delta,
+            saving=saving,
+        )
+
+    def _value_phase(self, synopsis: XClusterSynopsis) -> None:
+        config = self.config
+        value_size = value_size_bytes(synopsis)
+        if value_size <= config.value_budget:
+            return
+        heap: List[_ValueCandidate] = []
+        for node in synopsis.valued_nodes():
+            candidate = self._value_candidate(node)
+            if candidate is not None:
+                heap.append(candidate)
+        heapq.heapify(heap)
+        while heap and value_size > config.value_budget:
+            candidate = heapq.heappop(heap)
+            node = synopsis.nodes.get(candidate.node_id)
+            if node is None or node.vsumm is not candidate.source_summary:
+                continue  # stale: node merged away or summary replaced
+            node.vsumm = candidate.compressed
+            value_size -= candidate.saving
+            self.stats.value_steps_applied += 1
+            follow_up = self._value_candidate(node)
+            if follow_up is not None:
+                heapq.heappush(heap, follow_up)
+
+
+def build_xcluster(
+    tree: XMLTree,
+    structural_budget: int,
+    value_budget: int,
+    value_paths: Optional[Sequence[LabelPath]] = None,
+    config: Optional[BuildConfig] = None,
+) -> XClusterSynopsis:
+    """One-call construction of a budgeted XCluster synopsis.
+
+    Args:
+        tree: the document to summarize.
+        structural_budget: ``B_str`` in bytes.
+        value_budget: ``B_val`` in bytes.
+        value_paths: label paths under which value summaries are kept.
+        config: overrides for the remaining knobs.
+
+    Returns:
+        The compressed synopsis.
+    """
+    config = config if config is not None else BuildConfig()
+    config.structural_budget = structural_budget
+    config.value_budget = value_budget
+    builder = XClusterBuilder(config)
+    return builder.build(tree, value_paths)

@@ -1,0 +1,155 @@
+"""XCluster selectivity estimation (paper Section 5).
+
+Estimation enumerates *query embeddings* — assignments of query variables
+to synopsis nodes satisfying the structural and value constraints — and
+sums their selectivities.  The implementation folds the enumeration into
+a memoized sum-product traversal: for each query variable bound to a
+synopsis node, the expected number of binding tuples multiplies across
+branches and sums across the synopsis nodes each branch can embed into.
+
+The generalized **Path-Value Independence** assumption approximates the
+selectivity of a path ``u[p]/c`` as ``|u| · σ_p(u) · count(u, c)``:
+predicate selectivities (from the node's value summary) de-correlate from
+the structural child counters.
+
+Descendant-axis counts are path-count sums over the synopsis graph.
+Because node merges can introduce cycles (e.g. recursive elements merged
+with their ancestors), path expansion is capped at ``max_path_length``,
+which defaults to a generous bound and is naturally tight for DAGs
+(expansion stops when the frontier empties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.distance import node_selectivity
+from repro.core.synopsis import XClusterSynopsis
+from repro.query.ast import AxisStep, QueryNode, TwigQuery
+
+#: Sentinel id for the virtual document node above the synopsis root.
+VIRTUAL_ROOT = -1
+
+
+class XClusterEstimator:
+    """Estimates twig selectivities over one synopsis.
+
+    The estimator is read-only and caches descendant path counts, so
+    reuse it across a workload; rebuild it after the synopsis changes.
+    """
+
+    def __init__(
+        self, synopsis: XClusterSynopsis, max_path_length: int = 40
+    ) -> None:
+        if max_path_length < 1:
+            raise ValueError("max_path_length must be >= 1")
+        self.synopsis = synopsis
+        self.max_path_length = max_path_length
+        self._descendant_cache: Dict[int, Dict[int, float]] = {}
+
+    # -- structural path counts ---------------------------------------------
+
+    def _descendants(self, node_id: int) -> Dict[int, float]:
+        """Expected number of descendant *paths* per element of ``node_id``,
+        keyed by target synopsis node (all labels, length >= 1)."""
+        cached = self._descendant_cache.get(node_id)
+        if cached is not None:
+            return cached
+        totals: Dict[int, float] = {}
+        frontier: Dict[int, float] = {node_id: 1.0}
+        for _ in range(self.max_path_length):
+            next_frontier: Dict[int, float] = {}
+            for source_id, weight in frontier.items():
+                for child_id, avg in self.synopsis.node(source_id).children.items():
+                    next_frontier[child_id] = (
+                        next_frontier.get(child_id, 0.0) + weight * avg
+                    )
+            if not next_frontier:
+                break
+            for target_id, weight in next_frontier.items():
+                totals[target_id] = totals.get(target_id, 0.0) + weight
+            frontier = next_frontier
+        self._descendant_cache[node_id] = totals
+        return totals
+
+    def _expand_step(
+        self, frontier: Dict[int, float], step: AxisStep
+    ) -> Dict[int, float]:
+        """Advance a weighted synopsis frontier through one axis step."""
+        result: Dict[int, float] = {}
+        for source_id, weight in frontier.items():
+            if step.axis == "child":
+                if source_id == VIRTUAL_ROOT:
+                    root = self.synopsis.root
+                    if step.matches_label(root.label):
+                        result[root.node_id] = result.get(root.node_id, 0.0) + weight
+                    continue
+                for child_id, avg in self.synopsis.node(source_id).children.items():
+                    if step.matches_label(self.synopsis.node(child_id).label):
+                        result[child_id] = result.get(child_id, 0.0) + weight * avg
+            else:  # descendant axis
+                if source_id == VIRTUAL_ROOT:
+                    root = self.synopsis.root
+                    reachable = dict(self._descendants(root.node_id))
+                    reachable[root.node_id] = reachable.get(root.node_id, 0.0) + 1.0
+                else:
+                    reachable = self._descendants(source_id)
+                for target_id, count in reachable.items():
+                    if step.matches_label(self.synopsis.node(target_id).label):
+                        result[target_id] = (
+                            result.get(target_id, 0.0) + weight * count
+                        )
+        return result
+
+    def reach(self, source_id: int, edge) -> Dict[int, float]:
+        """Average number of elements (paths) reached per source element,
+        keyed by target synopsis node, for a whole edge path."""
+        frontier = {source_id: 1.0}
+        for step in edge.steps:
+            frontier = self._expand_step(frontier, step)
+            if not frontier:
+                break
+        return frontier
+
+    # -- estimation --------------------------------------------------------------
+
+    def estimate(self, query: TwigQuery) -> float:
+        """The estimated number of binding tuples of ``query``."""
+        memo: Dict[Tuple[int, int], float] = {}
+        return self._tuples(query.root, VIRTUAL_ROOT, memo)
+
+    def _tuples(
+        self,
+        variable: QueryNode,
+        node_id: int,
+        memo: Dict[Tuple[int, int], float],
+    ) -> float:
+        """Expected binding tuples of the subtree at ``variable`` per
+        element of synopsis node ``node_id`` bound to it."""
+        key = (id(variable), node_id)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = 1.0
+        for child in variable.children:
+            branch = 0.0
+            for target_id, count in self.reach(node_id, child.edge).items():
+                target = self.synopsis.node(target_id)
+                sigma = node_selectivity(target, child.predicate)
+                if sigma <= 0.0 or count <= 0.0:
+                    continue
+                branch += count * sigma * self._tuples(child, target_id, memo)
+            total *= branch
+            if total == 0.0:
+                break
+        memo[key] = total
+        return total
+
+
+def estimate_selectivity(
+    synopsis: XClusterSynopsis,
+    query: TwigQuery,
+    max_path_length: int = 40,
+) -> float:
+    """One-shot estimate (see :class:`XClusterEstimator`)."""
+    return XClusterEstimator(synopsis, max_path_length).estimate(query)

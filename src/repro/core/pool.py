@@ -1,0 +1,219 @@
+"""The candidate-merge pool of XCLUSTERBUILD (paper Figure 6).
+
+``build_pool`` collects candidate merge operations among merge-compatible
+node pairs whose levels do not exceed the current level bound, scores
+each with the localized Δ metric, and keeps at most ``Hm`` candidates
+(evicting the worst marginal losses).  The pool is a priority queue on
+*marginal loss* — Δ(S, S′) per byte of structural storage saved — with
+lazy invalidation: a popped candidate is re-validated against the current
+synopsis (both nodes alive, neighborhood unchanged) and re-scored when
+stale.
+
+Exhaustive pair enumeration is quadratic in the (large) reference
+synopsis, so candidate *generation* pairs each node only with its ``K``
+nearest neighbors in a cheap structural-similarity order, exactly in the
+spirit of the paper's bottom-up level heuristic (nodes whose children
+were merged sort together).  Small groups still enumerate all pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.distance import SelectivityCache, merge_delta
+from repro.core.sizing import merge_size_saving
+from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    TextSummary,
+)
+
+#: Below this group size every pair is considered (quadratic is cheap).
+EXHAUSTIVE_GROUP_SIZE = 24
+
+
+@dataclass(order=True)
+class MergeCandidate:
+    """One candidate ``merge(u, v)`` with its cached score."""
+
+    marginal_loss: float
+    u_id: int = field(compare=False)
+    v_id: int = field(compare=False)
+    delta: float = field(compare=False)
+    size_saving: int = field(compare=False)
+    #: Sum of the neighborhood versions of u and v at scoring time.
+    version: int = field(compare=False, default=0)
+
+
+def _summary_key(node: SynopsisNode) -> Tuple:
+    """A cheap value-distribution fingerprint for similarity sorting."""
+    summary = node.vsumm
+    if summary is None:
+        return ()
+    if isinstance(summary, HistogramSummary):
+        histogram = summary.histogram
+        if histogram.total == 0:
+            return (0.0,)
+        mean = sum(
+            bucket.count * (bucket.lo + bucket.hi) / 2.0
+            for bucket in histogram.buckets
+        ) / histogram.total
+        return (mean,)
+    if isinstance(summary, StringSummary):
+        top = summary.pst.top_substrings(1)
+        return (top[0][0],) if top else ("",)
+    if isinstance(summary, TextSummary):
+        ranked = sorted(
+            summary.ebth.exact.items(), key=lambda item: (-item[1], item[0])
+        )
+        return (ranked[0][0],) if ranked else (-1,)
+    return ()
+
+
+def similarity_key(synopsis: XClusterSynopsis, node: SynopsisNode) -> Tuple:
+    """Sort key placing structurally-similar clusters next to each other."""
+    child_labels = tuple(
+        sorted(synopsis.node(child_id).label for child_id in node.children)
+    )
+    total_children = sum(node.children.values())
+    return (child_labels, round(total_children, 3), _summary_key(node), node.count)
+
+
+def candidate_pairs(
+    synopsis: XClusterSynopsis,
+    nodes: List[SynopsisNode],
+    neighbors: int,
+) -> Iterable[Tuple[int, int]]:
+    """Yield merge-candidate id pairs for one merge-compatible group."""
+    if len(nodes) < 2:
+        return
+    if len(nodes) <= EXHAUSTIVE_GROUP_SIZE:
+        for left, right in itertools.combinations(nodes, 2):
+            yield (left.node_id, right.node_id)
+        return
+    ordered = sorted(nodes, key=lambda node: similarity_key(synopsis, node))
+    for index, node in enumerate(ordered):
+        for offset in range(1, neighbors + 1):
+            if index + offset >= len(ordered):
+                break
+            yield (node.node_id, ordered[index + offset].node_id)
+
+
+class CandidatePool:
+    """A marginal-loss priority queue with lazy staleness checks."""
+
+    def __init__(
+        self,
+        synopsis: XClusterSynopsis,
+        max_size: int,
+        predicate_limit: int,
+        cache: Optional[SelectivityCache] = None,
+    ) -> None:
+        self.synopsis = synopsis
+        self.max_size = max_size
+        self.predicate_limit = predicate_limit
+        self.cache: SelectivityCache = cache if cache is not None else {}
+        self._heap: List[MergeCandidate] = []
+        #: Bumped whenever a node's local neighborhood changes.
+        self.node_versions: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _version_of(self, node_id: int) -> int:
+        return self.node_versions.get(node_id, 0)
+
+    def _pair_version(self, u_id: int, v_id: int) -> int:
+        return self._version_of(u_id) + self._version_of(v_id)
+
+    def score(self, u_id: int, v_id: int) -> Optional[MergeCandidate]:
+        """Build a scored candidate for the pair, or ``None`` if invalid."""
+        nodes = self.synopsis.nodes
+        u = nodes.get(u_id)
+        v = nodes.get(v_id)
+        if u is None or v is None or u.merge_key() != v.merge_key():
+            return None
+        delta = merge_delta(self.synopsis, u, v, self.predicate_limit, self.cache)
+        saving = max(1, merge_size_saving(self.synopsis, u_id, v_id))
+        return MergeCandidate(
+            marginal_loss=delta / saving,
+            u_id=u_id,
+            v_id=v_id,
+            delta=delta,
+            size_saving=saving,
+            version=self._pair_version(u_id, v_id),
+        )
+
+    def push_pair(self, u_id: int, v_id: int) -> None:
+        """Score and enqueue one candidate pair (ignored when invalid)."""
+        candidate = self.score(u_id, v_id)
+        if candidate is not None:
+            heapq.heappush(self._heap, candidate)
+
+    def extend(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Score and enqueue many pairs, then enforce the size cap."""
+        for u_id, v_id in pairs:
+            self.push_pair(u_id, v_id)
+        self.enforce_capacity()
+
+    def enforce_capacity(self) -> None:
+        """Drop the worst-marginal-loss candidates beyond ``max_size``."""
+        if len(self._heap) > self.max_size:
+            self._heap = heapq.nsmallest(self.max_size, self._heap)
+            heapq.heapify(self._heap)
+
+    def bump_versions(self, node_ids: Iterable[int]) -> None:
+        """Mark nodes' neighborhoods changed (stale candidates rescore)."""
+        for node_id in node_ids:
+            self.node_versions[node_id] = self.node_versions.get(node_id, 0) + 1
+
+    def pop_best(self) -> Optional[MergeCandidate]:
+        """Pop the lowest-marginal-loss *valid* candidate.
+
+        Stale candidates (dead nodes) are discarded; candidates whose
+        neighborhood changed since scoring are re-scored and re-queued.
+        """
+        nodes = self.synopsis.nodes
+        while self._heap:
+            candidate = heapq.heappop(self._heap)
+            if candidate.u_id not in nodes or candidate.v_id not in nodes:
+                continue
+            if candidate.version != self._pair_version(candidate.u_id, candidate.v_id):
+                rescored = self.score(candidate.u_id, candidate.v_id)
+                if rescored is not None:
+                    heapq.heappush(self._heap, rescored)
+                continue
+            return candidate
+        return None
+
+
+def build_pool(
+    synopsis: XClusterSynopsis,
+    max_size: int,
+    level_limit: int,
+    levels: Dict[int, int],
+    predicate_limit: int = 48,
+    neighbors: int = 8,
+    cache: Optional[SelectivityCache] = None,
+) -> CandidatePool:
+    """Assemble the candidate pool for the current level bound.
+
+    Mirrors the paper's ``build_pool(S, Hm, l)``: consider merges among
+    merge-compatible nodes whose level is at most ``level_limit``, keep
+    the best ``max_size`` by marginal loss.
+    """
+    pool = CandidatePool(synopsis, max_size, predicate_limit, cache)
+    groups: Dict[Tuple, List[SynopsisNode]] = {}
+    for node in synopsis:
+        if levels.get(node.node_id, 0) > level_limit:
+            continue
+        if node.node_id == synopsis.root_id:
+            continue  # the root cluster is never merged away
+        groups.setdefault(node.merge_key(), []).append(node)
+    for members in groups.values():
+        pool.extend(candidate_pairs(synopsis, members, neighbors))
+    return pool

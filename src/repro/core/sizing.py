@@ -1,0 +1,66 @@
+"""Byte-accurate storage accounting for XCluster synopses.
+
+Mirrors a natural on-disk layout (documented in DESIGN.md):
+
+* 9 bytes per synopsis node — label id (4) + element count (4) +
+  value-type tag (1);
+* 8 bytes per edge — target node id (4) + average child counter (4);
+* value summaries account for themselves (see each summary class).
+
+The split into *structural* and *value* budgets follows the paper's
+``B_str`` / ``B_val`` parameters of XCLUSTERBUILD.
+"""
+
+from __future__ import annotations
+
+from repro.core.synopsis import XClusterSynopsis
+
+#: Bytes per synopsis node (label id + count + type tag).
+NODE_BYTES = 9
+#: Bytes per synopsis edge (target id + average counter).
+EDGE_BYTES = 8
+
+
+def structural_size_bytes(synopsis: XClusterSynopsis) -> int:
+    """Size of the graph part: nodes + edges + edge counters."""
+    return NODE_BYTES * len(synopsis) + EDGE_BYTES * synopsis.edge_count
+
+
+def value_size_bytes(synopsis: XClusterSynopsis) -> int:
+    """Size of all value summaries."""
+    return sum(node.vsumm.size_bytes() for node in synopsis.valued_nodes())
+
+
+def total_size_bytes(synopsis: XClusterSynopsis) -> int:
+    """The full synopsis footprint."""
+    return structural_size_bytes(synopsis) + value_size_bytes(synopsis)
+
+
+def merge_size_saving(synopsis: XClusterSynopsis, u_id: int, v_id: int) -> int:
+    """Structural bytes saved by ``merge(S, u, v)``, computed locally.
+
+    One node disappears; edges are deduplicated wherever u and v share a
+    parent or child (and wherever edges between u and v collapse into a
+    single self-loop on the merged node).
+    """
+    u = synopsis.node(u_id)
+    v = synopsis.node(v_id)
+
+    def normalize(node_id: int) -> int:
+        return -1 if node_id in (u_id, v_id) else node_id
+
+    children_before = len(u.children) + len(v.children)
+    children_after = len(
+        {normalize(child) for child in u.children}
+        | {normalize(child) for child in v.children}
+    )
+    # Incoming edges from outside parents: a parent of both u and v
+    # contributed two edges and keeps one to the merged node.
+    u_outside = {p for p in u.parents if p not in (u_id, v_id)}
+    v_outside = {p for p in v.parents if p not in (u_id, v_id)}
+    incoming_before = len(u_outside) + len(v_outside)
+    incoming_after = len(u_outside | v_outside)
+    edges_saved = (children_before - children_after) + (
+        incoming_before - incoming_after
+    )
+    return NODE_BYTES + EDGE_BYTES * edges_saved

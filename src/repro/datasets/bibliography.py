@@ -1,0 +1,53 @@
+"""The bibliographic example document of the paper's Figure 1.
+
+A tiny, hand-built tree used by the quickstart example and the unit
+tests: authors with papers and books, mixing NUMERIC years, STRING
+titles, and TEXT keywords/abstracts/forewords exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.dataset import Dataset
+from repro.xmltree.tree import XMLElement, XMLTree
+
+
+def bibliography_tree() -> Dataset:
+    """Build the Figure 1 document (element ids in comments)."""
+    root = XMLElement("dblp")  # d0
+
+    author1 = root.add("author")  # a1
+    author1.add("name", "Ann Author")  # n6
+    paper2 = author1.add("paper")  # p2
+    paper2.add("year", 2000)  # y3
+    paper2.add("title", "Counting Twig Matches in a Tree")  # t4
+    paper2.add("keywords", frozenset({"xml", "summary", "twig", "count"}))  # k5
+    paper7 = author1.add("paper")  # p7
+    paper7.add("year", 2002)  # y8
+    paper7.add("title", "Holistic Twig Joins")  # t9
+    paper7.add(
+        "abstract",
+        frozenset({"xml", "employs", "hierarchical", "model", "synopsis"}),
+    )  # ab10
+
+    author11 = root.add("author")  # a11
+    author11.add("name", "Bob Writer")  # n12
+    book13 = author11.add("book")  # b13
+    book13.add("year", 2002)  # y14
+    book13.add("title", "Database Systems in Depth")  # t15
+    book13.add(
+        "foreword",
+        frozenset({"database", "systems", "have", "evolved", "greatly"}),
+    )  # f16
+
+    tree = XMLTree(root)
+    value_paths = [
+        ("dblp", "author", "name"),
+        ("dblp", "author", "paper", "year"),
+        ("dblp", "author", "paper", "title"),
+        ("dblp", "author", "paper", "keywords"),
+        ("dblp", "author", "paper", "abstract"),
+        ("dblp", "author", "book", "year"),
+        ("dblp", "author", "book", "title"),
+        ("dblp", "author", "book", "foreword"),
+    ]
+    return Dataset("bibliography", tree, value_paths)

@@ -1,0 +1,38 @@
+"""The dataset container shared by generators, workloads, and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.xmltree.tree import XMLTree
+
+from repro.xmltree.paths import LabelPath, matches_any, path_matches
+
+__all__ = ["Dataset", "LabelPath", "matches_any", "path_matches"]
+
+
+@dataclass
+class Dataset:
+    """A generated document plus its experiment metadata.
+
+    Attributes:
+        name: dataset identifier ("imdb", "xmark", ...).
+        tree: the document.
+        value_paths: the label paths under which the reference synopsis
+            builds value summaries (7 for IMDB, 9 for XMark; paper §6.1).
+    """
+
+    name: str
+    tree: XMLTree
+    value_paths: List[LabelPath]
+
+    @property
+    def element_count(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.name!r}, elements={self.element_count}, "
+            f"value_paths={len(self.value_paths)})"
+        )

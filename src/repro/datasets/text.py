@@ -1,0 +1,89 @@
+"""Zipfian free-text generation for TEXT element values.
+
+Real document collections have heavy-tailed term distributions; XMark's
+keyword predicates owe their very low selectivities to exactly this tail
+(the cause of the paper's Figure 8(b) TEXT anomaly).
+:class:`ZipfTextGenerator` samples term sets from a synthetic vocabulary
+with Zipf-distributed term probabilities, so a handful of terms appear in
+most texts while most terms are rare.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import FrozenSet, List, Optional, Sequence
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def synthetic_vocabulary(size: int) -> List[str]:
+    """A deterministic list of pronounceable pseudo-words."""
+    words = []
+    syllables = [c + v for c, v in itertools.product(_CONSONANTS, _VOWELS)]
+    for count in itertools.count(2):
+        for combo in itertools.product(syllables, repeat=count):
+            words.append("".join(combo))
+            if len(words) >= size:
+                return words
+    raise AssertionError("unreachable")
+
+
+class ZipfTextGenerator:
+    """Samples Boolean term sets under a Zipf(s) term distribution.
+
+    Attributes:
+        vocabulary: the term list, most frequent first.
+        exponent: the Zipf skew parameter ``s``.
+    """
+
+    def __init__(
+        self,
+        vocabulary_size: int = 2000,
+        exponent: float = 1.1,
+        vocabulary: Optional[Sequence[str]] = None,
+    ) -> None:
+        if vocabulary is not None:
+            self.vocabulary = list(vocabulary)
+        else:
+            self.vocabulary = synthetic_vocabulary(vocabulary_size)
+        if not self.vocabulary:
+            raise ValueError("vocabulary must be non-empty")
+        self.exponent = exponent
+        self.index_of = {term: index for index, term in enumerate(self.vocabulary)}
+        weights = [1.0 / (rank**exponent) for rank in range(1, len(self.vocabulary) + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample_term(self, rng: random.Random) -> str:
+        """One term drawn from the Zipf distribution."""
+        index = bisect.bisect_left(self._cumulative, rng.random())
+        return self.vocabulary[min(index, len(self.vocabulary) - 1)]
+
+    def sample_terms(self, rng: random.Random, mean_terms: int) -> FrozenSet[str]:
+        """A term set whose size is roughly Poisson around ``mean_terms``."""
+        if mean_terms < 1:
+            raise ValueError("mean_terms must be >= 1")
+        size = max(1, round(rng.gauss(mean_terms, mean_terms**0.5)))
+        terms = set()
+        attempts = 0
+        while len(terms) < size and attempts < size * 8:
+            terms.add(self.sample_term(rng))
+            attempts += 1
+        return frozenset(terms)
+
+    def frequent_terms(self, count: int) -> List[str]:
+        """The ``count`` most probable terms (for workload construction)."""
+        return self.vocabulary[:count]
+
+    def rare_terms(self, count: int) -> List[str]:
+        """The ``count`` least probable terms."""
+        return self.vocabulary[-count:]

@@ -1,0 +1,210 @@
+"""The XMark-like auction dataset (substitute for the XMark benchmark).
+
+Follows the published XMark DTD shape: a ``site`` with six *named*
+geographic regions (``africa`` ... ``samerica``) holding ``item``
+listings, a ``people`` section, and open and closed auctions.  As in the
+IMDB generator, the same tag carries context-dependent value
+distributions, giving XCluster's structure-value clustering real
+correlations to preserve:
+
+* ``price`` under European/North-American items skews expensive, under
+  African/South-American items cheap; ``price`` under closed auctions
+  follows yet another distribution;
+* ``description`` TEXT under items is region-rotated Zipfian text, while
+  ``description`` under auction annotations uses a different vocabulary
+  region;
+* ``name`` under items versus persons draws from different pools.
+
+TEXT descriptions draw from a large (4k-term) Zipfian vocabulary, so
+most individual keywords are rare — reproducing the very-low-selectivity
+TEXT predicates behind the paper's Figure 8(b) anomaly.  The 9
+(wildcarded) summarized value paths match the paper's §6.1 count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets.dataset import Dataset, LabelPath
+from repro.datasets.names import (
+    CITIES,
+    EDUCATION_LEVELS,
+    email_address,
+    item_name,
+    person_name,
+)
+from repro.datasets.text import ZipfTextGenerator
+from repro.xmltree.tree import XMLElement, XMLTree
+
+#: The 9 summarized value paths (paper §6.1: "9 for XMark").  The ``*``
+#: wildcard segment covers the six region elements.
+XMARK_VALUE_PATHS: List[LabelPath] = [
+    ("site", "regions", "*", "item", "name"),
+    ("site", "regions", "*", "item", "price"),
+    ("site", "regions", "*", "item", "description"),
+    ("site", "people", "person", "name"),
+    ("site", "people", "person", "profile", "age"),
+    ("site", "open_auctions", "open_auction", "current"),
+    ("site", "open_auctions", "open_auction", "bidder", "increase"),
+    ("site", "open_auctions", "open_auction", "annotation", "description"),
+    ("site", "closed_auctions", "closed_auction", "price"),
+]
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+#: Listing volume per region, mirroring XMark's uneven region sizes.
+_REGION_WEIGHTS = {
+    "africa": 0.06,
+    "asia": 0.22,
+    "australia": 0.06,
+    "europe": 0.30,
+    "namerica": 0.30,
+    "samerica": 0.06,
+}
+#: Price magnitude range (log10) per region: rich regions list dear items.
+_REGION_PRICE_MAGNITUDE = {
+    "africa": (0.3, 2.2),
+    "asia": (0.5, 3.0),
+    "australia": (0.5, 3.0),
+    "europe": (1.0, 4.0),
+    "namerica": (1.0, 4.0),
+    "samerica": (0.3, 2.2),
+}
+#: Vocabulary rotation per region for item descriptions.
+_REGION_TERM_OFFSET = {name: 211 * index for index, name in enumerate(_REGIONS)}
+_ANNOTATION_TERM_OFFSET = 1733
+
+_DESCRIPTION_VOCABULARY_SIZE = 4000
+_DESCRIPTION_MEAN_TERMS = 18
+
+
+def _rotated_terms(
+    rng: random.Random, text: ZipfTextGenerator, offset: int, mean_terms: int
+):
+    vocabulary = text.vocabulary
+    base = text.sample_terms(rng, mean_terms)
+    return frozenset(
+        vocabulary[(text.index_of[term] + offset) % len(vocabulary)] for term in base
+    )
+
+
+def _price(rng: random.Random, magnitude_range) -> int:
+    low, high = magnitude_range
+    return max(1, round(10 ** rng.uniform(low, high)))
+
+
+def _add_item(
+    region: XMLElement,
+    region_name: str,
+    rng: random.Random,
+    text: ZipfTextGenerator,
+) -> None:
+    item = region.add("item")
+    item.add("name", item_name(rng))
+    price = _price(rng, _REGION_PRICE_MAGNITUDE[region_name])
+    item.add("price", price)
+    item.add("quantity", rng.randint(1, 10))
+    item.add(
+        "description",
+        _rotated_terms(rng, text, _REGION_TERM_OFFSET[region_name], _DESCRIPTION_MEAN_TERMS),
+    )
+    item.add("location", rng.choice(CITIES))
+    # Pricey items attract correspondence.
+    mailbox_probability = 0.55 if price > 500 else 0.2
+    if rng.random() < mailbox_probability:
+        mailbox = item.add("mailbox")
+        for _ in range(rng.randint(1, 3)):
+            mail = mailbox.add("mail")
+            mail.add("from", person_name(rng))
+            mail.add("date", rng.randint(1998, 2005))
+
+
+def _add_person(
+    people: XMLElement, rng: random.Random, text: ZipfTextGenerator
+) -> None:
+    person = people.add("person")
+    person.add("name", person_name(rng))
+    person.add("emailaddress", email_address(rng))
+    if rng.random() < 0.6:
+        profile = person.add("profile")
+        # Ages cluster in two cohorts, as in XMark's profile skew.
+        age = rng.randint(18, 35) if rng.random() < 0.65 else rng.randint(36, 80)
+        profile.add("age", age)
+        profile.add("education", rng.choice(EDUCATION_LEVELS))
+        for _ in range(rng.randint(0, 3)):
+            profile.add("interest", rng.choice(CITIES))
+    if rng.random() < 0.35:
+        person.add("homepage", email_address(rng))
+
+
+def _add_open_auction(
+    auctions: XMLElement, rng: random.Random, text: ZipfTextGenerator
+) -> None:
+    auction = auctions.add("open_auction")
+    initial = _price(rng, (0.5, 3.5))
+    auction.add("initial", initial)
+    # Cheap listings attract bargain hunters: more bidders, small raises.
+    bid_count = rng.randint(2, 8) if initial < 100 else rng.randint(0, 4)
+    current = initial
+    for _ in range(bid_count):
+        bidder = auction.add("bidder")
+        increase = rng.randint(1, max(2, initial // 4))
+        bidder.add("increase", increase)
+        bidder.add("personref", person_name(rng))
+        current += increase
+    auction.add("current", current)
+    annotation = auction.add("annotation")
+    annotation.add(
+        "description", _rotated_terms(rng, text, _ANNOTATION_TERM_OFFSET, 10)
+    )
+    auction.add("itemref", rng.choice(_REGIONS))
+
+
+def _add_closed_auction(
+    auctions: XMLElement, rng: random.Random, text: ZipfTextGenerator
+) -> None:
+    auction = auctions.add("closed_auction")
+    # Closed (sold) prices skew higher than open listings.
+    auction.add("price", _price(rng, (1.5, 4.0)))
+    auction.add("buyer", person_name(rng))
+    if rng.random() < 0.5:
+        annotation = auction.add("annotation")
+        annotation.add(
+            "description", _rotated_terms(rng, text, _ANNOTATION_TERM_OFFSET, 10)
+        )
+
+
+def generate_xmark(scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Generate the XMark-like dataset.
+
+    Args:
+        scale: 1.0 yields roughly 20k elements, growing linearly.
+        seed: RNG seed for deterministic output.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = random.Random(seed)
+    text = ZipfTextGenerator(_DESCRIPTION_VOCABULARY_SIZE, exponent=1.15)
+    root = XMLElement("site")
+
+    regions = root.add("regions")
+    item_total = max(6, round(900 * scale))
+    for region_name in _REGIONS:
+        region = regions.add(region_name)
+        count = max(1, round(item_total * _REGION_WEIGHTS[region_name]))
+        for _ in range(count):
+            _add_item(region, region_name, rng, text)
+
+    people = root.add("people")
+    for _ in range(max(1, round(500 * scale))):
+        _add_person(people, rng, text)
+
+    open_auctions = root.add("open_auctions")
+    for _ in range(max(1, round(300 * scale))):
+        _add_open_auction(open_auctions, rng, text)
+
+    closed_auctions = root.add("closed_auctions")
+    for _ in range(max(1, round(200 * scale))):
+        _add_closed_auction(closed_auctions, rng, text)
+
+    return Dataset("xmark", XMLTree(root), list(XMARK_VALUE_PATHS))

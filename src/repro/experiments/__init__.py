@@ -1,0 +1,38 @@
+"""Experiment harness regenerating every table and figure of Section 6.
+
+* :mod:`repro.experiments.harness` — shared context (datasets, reference
+  synopses, workloads, budget sweeps) with in-process caching;
+* :mod:`repro.experiments.tables` — Table 1 (dataset characteristics)
+  and Table 2 (workload characteristics);
+* :mod:`repro.experiments.figures` — Figure 8 (error vs. synopsis size,
+  five series per dataset) and Figure 9 (absolute error of low-count
+  queries), plus the negative-workload check;
+* :mod:`repro.experiments.reporting` — plain-text table/series
+  rendering shared by benches and examples.
+"""
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentContext,
+    SweepPoint,
+)
+from repro.experiments.tables import table1_rows, table2_rows
+from repro.experiments.figures import (
+    figure8_series,
+    figure9_rows,
+    negative_workload_estimates,
+)
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "SweepPoint",
+    "table1_rows",
+    "table2_rows",
+    "figure8_series",
+    "figure9_rows",
+    "negative_workload_estimates",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,118 @@
+"""Figures 8 and 9 of the paper, plus the negative-workload check.
+
+Figure 8 — average relative estimation error vs. synopsis size, with
+five series (Text, String, Numeric, Struct, Overall) per dataset, for a
+structural-budget sweep at fixed value budget.
+
+Figure 9 — average *absolute* error of the low-count queries (true size
+below the sanity bound) per value-predicate class, at the largest
+budget.
+
+The negative-workload check re-validates the paper's Section 6.1 remark:
+zero-selectivity queries receive near-zero estimates at every budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.estimator import XClusterEstimator
+from repro.experiments.harness import ExperimentContext, SweepPoint
+from repro.workload import make_negative_workload
+from repro.workload.generator import QueryClass
+
+#: Series order matching the Figure 8 legend.
+FIGURE8_SERIES = (
+    ("Text", QueryClass.TEXT),
+    ("String", QueryClass.STRING),
+    ("Numeric", QueryClass.NUMERIC),
+    ("Struct", QueryClass.STRUCT),
+    ("Overall", None),
+)
+
+
+@dataclass
+class Figure8Result:
+    """The full sweep for one dataset, organized per series."""
+
+    dataset: str
+    points: List[SweepPoint]
+
+    @property
+    def total_kb(self) -> List[float]:
+        return [point.total_kb for point in self.points]
+
+    def series(self, query_class: Optional[QueryClass]) -> List[float]:
+        """Error values across the sweep for one legend entry."""
+        if query_class is None:
+            return [point.report.overall for point in self.points]
+        return [point.report.class_error(query_class) for point in self.points]
+
+    def as_series_table(self) -> Dict[str, List[float]]:
+        """All five legend series keyed by display name."""
+        return {name: self.series(cls) for name, cls in FIGURE8_SERIES}
+
+
+def figure8_series(
+    context: ExperimentContext,
+    dataset_name: str,
+    fractions: Optional[Sequence[float]] = None,
+) -> Figure8Result:
+    """Run the Figure 8 sweep for one dataset."""
+    points = context.sweep(dataset_name, fractions)
+    return Figure8Result(dataset_name, points)
+
+
+@dataclass
+class Figure9Row:
+    """Absolute error of low-count queries for one value class."""
+
+    query_class: QueryClass
+    imdb: float
+    xmark: float
+
+
+def figure9_rows(
+    imdb_result: Figure8Result, xmark_result: Figure8Result
+) -> List[Figure9Row]:
+    """Extract the Figure 9 table from the largest-budget sweep points."""
+    imdb_report = imdb_result.points[-1].report
+    xmark_report = xmark_result.points[-1].report
+    rows = []
+    for query_class in (QueryClass.NUMERIC, QueryClass.STRING, QueryClass.TEXT):
+        rows.append(
+            Figure9Row(
+                query_class=query_class,
+                imdb=imdb_report.low_count_absolute.get(query_class, 0.0),
+                xmark=xmark_report.low_count_absolute.get(query_class, 0.0),
+            )
+        )
+    return rows
+
+
+def negative_workload_estimates(
+    context: ExperimentContext,
+    dataset_name: str,
+    fractions: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Average estimate on the negative workload at each budget point.
+
+    All values should stay near zero (the paper omits the figure for
+    exactly this reason).
+    """
+    dataset = context.dataset(dataset_name)
+    positive = context.workload(dataset_name)
+    negative = make_negative_workload(dataset, positive)
+    fractions = (
+        list(fractions)
+        if fractions is not None
+        else list(context.config.structural_fractions)
+    )
+    averages = []
+    for fraction in fractions:
+        synopsis = context.build_at_fraction(dataset_name, fraction)
+        estimator = XClusterEstimator(synopsis)
+        estimates = [estimator.estimate(wq.query) for wq in negative.queries]
+        averages.append(sum(estimates) / len(estimates) if estimates else 0.0)
+    return averages

@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment tables and series."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    lines: List[str] = [render_row(headers)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    percent: bool = True,
+) -> str:
+    """Render figure series as one row per x value, one column per series."""
+    headers = [x_label, *series_names]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row = [f"{x_value:.1f}"]
+        for values in series:
+            value = values[index]
+            if value != value:  # NaN
+                row.append("-")
+            elif percent:
+                row.append(f"{100.0 * value:.1f}")
+            else:
+                row.append(f"{value:.3f}")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

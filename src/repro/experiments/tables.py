@@ -1,0 +1,78 @@
+"""Tables 1 and 2 of the paper (Section 6.1).
+
+Table 1 — data-set characteristics: serialized file size, element count,
+reference-synopsis size, and node counts (value-summarized / total).
+
+Table 2 — workload characteristics: the average result size of the
+structural queries and of the queries with value predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.sizing import total_size_bytes
+from repro.experiments.harness import ExperimentContext
+from repro.xmltree.serializer import serialized_size_bytes
+
+DATASET_NAMES = ("imdb", "xmark")
+
+
+@dataclass
+class Table1Row:
+    """One Table 1 row."""
+
+    dataset: str
+    file_size_mb: float
+    element_count: int
+    reference_size_kb: float
+    value_nodes: int
+    total_nodes: int
+
+
+@dataclass
+class Table2Row:
+    """One Table 2 row."""
+
+    dataset: str
+    avg_result_struct: float
+    avg_result_pred: float
+
+
+def table1_rows(context: ExperimentContext) -> List[Table1Row]:
+    """Compute the Table 1 characteristics for both datasets."""
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = context.dataset(name)
+        reference = context.reference(name)
+        rows.append(
+            Table1Row(
+                dataset=name,
+                file_size_mb=serialized_size_bytes(dataset.tree) / (1024.0 * 1024.0),
+                element_count=dataset.element_count,
+                reference_size_kb=total_size_bytes(reference) / 1024.0,
+                value_nodes=len(reference.valued_nodes()),
+                total_nodes=len(reference),
+            )
+        )
+    return rows
+
+
+def table2_rows(context: ExperimentContext) -> List[Table2Row]:
+    """Compute the Table 2 workload characteristics for both datasets."""
+    rows = []
+    for name in DATASET_NAMES:
+        workload = context.workload(name)
+        rows.append(
+            Table2Row(
+                dataset=name,
+                avg_result_struct=workload.average_result_size(
+                    workload.structural_queries
+                ),
+                avg_result_pred=workload.average_result_size(
+                    workload.predicate_queries
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,205 @@
+"""Value predicates for twig queries (paper Section 2, "Query Model").
+
+Three predicate classes mirror the three value types:
+
+* :class:`RangePredicate` — ``[l, h]`` ranges over NUMERIC values;
+* :class:`SubstringPredicate` — ``contains(qs)`` over STRING values (the
+  SQL ``LIKE '%qs%'`` semantics);
+* :class:`KeywordPredicate` — ``ftcontains(t1, ..., tk)`` exact term
+  matches over TEXT values under the Boolean IR model.
+
+:class:`TruePredicate` is the trivial always-true predicate used for
+query nodes without a value constraint and for NULL-typed synopsis nodes
+in the Δ metric.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.xmltree.types import ElementValue, ValueType
+
+
+class Predicate:
+    """Base class for value predicates.
+
+    A predicate knows which :class:`ValueType` it applies to and can test
+    a concrete element value.  Subclasses must be immutable and hashable
+    so they can serve as atomic predicates in the Δ metric's error sums.
+    """
+
+    #: The value type this predicate constrains.
+    value_type: ValueType = ValueType.NULL
+
+    def matches(self, value: ElementValue) -> bool:
+        """Whether a concrete element value satisfies this predicate."""
+        raise NotImplementedError
+
+    def applicable_to(self, value_type: ValueType) -> bool:
+        """Whether this predicate can be evaluated on elements of ``value_type``."""
+        return self.value_type is value_type
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (no value constraint)."""
+
+    value_type = ValueType.NULL
+
+    def matches(self, value: ElementValue) -> bool:
+        return True
+
+    def applicable_to(self, value_type: ValueType) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TruePredicate()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash(TruePredicate)
+
+
+class RangePredicate(Predicate):
+    """A NUMERIC range predicate ``[low, high]`` (both bounds inclusive)."""
+
+    value_type = ValueType.NUMERIC
+
+    #: Sentinel bounds used when one side of the range is open
+    #: (``year > 2000`` parses to ``[2001, UNBOUNDED_HIGH]``).
+    UNBOUNDED_LOW = -(2**62)
+    UNBOUNDED_HIGH = 2**62
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: int = None, high: int = None) -> None:
+        self.low = self.UNBOUNDED_LOW if low is None else low
+        self.high = self.UNBOUNDED_HIGH if high is None else high
+        if self.low > self.high:
+            raise ValueError(f"empty range [{self.low}, {self.high}]")
+
+    def matches(self, value: ElementValue) -> bool:
+        return isinstance(value, int) and self.low <= value <= self.high
+
+    def __repr__(self) -> str:
+        return f"RangePredicate({self.low}, {self.high})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePredicate)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((RangePredicate, self.low, self.high))
+
+
+class SubstringPredicate(Predicate):
+    """A STRING predicate ``contains(needle)``.
+
+    Matching is case-sensitive, mirroring SQL ``LIKE``; dataset generators
+    emit consistently-cased strings so workloads remain meaningful.
+    """
+
+    value_type = ValueType.STRING
+
+    __slots__ = ("needle",)
+
+    def __init__(self, needle: str) -> None:
+        if not needle:
+            raise ValueError("substring predicate needs a non-empty needle")
+        self.needle = needle
+
+    def matches(self, value: ElementValue) -> bool:
+        return isinstance(value, str) and self.needle in value
+
+    def __repr__(self) -> str:
+        return f"SubstringPredicate({self.needle!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SubstringPredicate) and self.needle == other.needle
+
+    def __hash__(self) -> int:
+        return hash((SubstringPredicate, self.needle))
+
+
+class AtLeastKPredicate(Predicate):
+    """A Boolean-model set-similarity predicate: ``>= k`` of ``m`` terms.
+
+    The paper notes (§2) that its techniques "can also handle other
+    Boolean-model predicates, such as set-theoretic notions of
+    document-similarity"; matching at least ``k`` of a probe term set is
+    the canonical such notion (a thresholded overlap).  ``k = m``
+    degenerates to :class:`KeywordPredicate`; ``k = 1`` is Boolean OR.
+    """
+
+    value_type = ValueType.TEXT
+
+    __slots__ = ("terms", "threshold")
+
+    def __init__(self, terms: Iterable[str], threshold: int) -> None:
+        term_set = frozenset(term.lower() for term in terms)
+        if not term_set or not all(term_set):
+            raise ValueError("similarity predicate needs non-empty terms")
+        if not 1 <= threshold <= len(term_set):
+            raise ValueError(
+                f"threshold must be in [1, {len(term_set)}], got {threshold}"
+            )
+        self.terms: FrozenSet[str] = term_set
+        self.threshold = threshold
+
+    def matches(self, value: ElementValue) -> bool:
+        if not isinstance(value, frozenset):
+            return False
+        return len(self.terms & value) >= self.threshold
+
+    def sorted_terms(self) -> Tuple[str, ...]:
+        """Terms in deterministic order (for display and hashing)."""
+        return tuple(sorted(self.terms))
+
+    def __repr__(self) -> str:
+        return f"AtLeastKPredicate({self.sorted_terms()!r}, k={self.threshold})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AtLeastKPredicate)
+            and self.terms == other.terms
+            and self.threshold == other.threshold
+        )
+
+    def __hash__(self) -> int:
+        return hash((AtLeastKPredicate, self.terms, self.threshold))
+
+
+class KeywordPredicate(Predicate):
+    """A TEXT predicate ``ftcontains(t1, ..., tk)``: all terms must occur."""
+
+    value_type = ValueType.TEXT
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Iterable[str]) -> None:
+        term_set = frozenset(term.lower() for term in terms)
+        if not term_set:
+            raise ValueError("keyword predicate needs at least one term")
+        if not all(term for term in term_set):
+            raise ValueError("keyword predicate terms must be non-empty")
+        self.terms: FrozenSet[str] = term_set
+
+    def matches(self, value: ElementValue) -> bool:
+        return isinstance(value, frozenset) and self.terms <= value
+
+    def sorted_terms(self) -> Tuple[str, ...]:
+        """Terms in deterministic order (for display and hashing)."""
+        return tuple(sorted(self.terms))
+
+    def __repr__(self) -> str:
+        return f"KeywordPredicate({self.sorted_terms()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KeywordPredicate) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((KeywordPredicate, self.terms))

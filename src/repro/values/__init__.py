@@ -1,0 +1,58 @@
+"""Value-summary substrate for XCluster synopses (paper Section 3).
+
+Three approximation mechanisms, one per value type:
+
+* NUMERIC — :class:`~repro.values.histogram.Histogram`: bucketed frequency
+  distributions with equi-depth construction, bucket *alignment + merge*
+  fusion (used during node merges), and adjacent-pair compression (the
+  ``hist_cmprs`` operation);
+* STRING — :class:`~repro.values.pst.PrunedSuffixTree`: substring counts
+  with greedy maximal-overlap Markovian estimation, and error-driven leaf
+  pruning (the ``st_cmprs`` operation) that retains at least one node per
+  symbol and preserves the PST monotonicity constraint;
+* TEXT — :class:`~repro.values.ebth.EndBiasedTermHistogram`: the paper's
+  novel summary for Boolean term-vector centroids, combining exact top
+  frequencies with a run-length-compressed 0/1 uniform bucket (the
+  ``tv_cmprs`` operation trims the exact part).
+
+:mod:`repro.values.summary` wraps all three behind the uniform
+:class:`~repro.values.summary.ValueSummary` interface that the synopsis
+core consumes (selectivity lookup, fusion, compression, atomic predicates
+for the Δ metric, and byte-accurate size accounting).
+"""
+
+from repro.values.rle import RunLengthBitmap
+from repro.values.histogram import Histogram, HistogramBucket
+from repro.values.pst import PrunedSuffixTree
+from repro.values.termvector import TermCentroid, Vocabulary
+from repro.values.ebth import EndBiasedTermHistogram
+from repro.values.wavelet import HaarWavelet, haar_transform, inverse_haar
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    TextSummary,
+    ValueSummary,
+    WaveletSummary,
+    build_summary,
+    fuse_summaries,
+)
+
+__all__ = [
+    "RunLengthBitmap",
+    "Histogram",
+    "HistogramBucket",
+    "PrunedSuffixTree",
+    "TermCentroid",
+    "Vocabulary",
+    "EndBiasedTermHistogram",
+    "HaarWavelet",
+    "haar_transform",
+    "inverse_haar",
+    "WaveletSummary",
+    "ValueSummary",
+    "HistogramSummary",
+    "StringSummary",
+    "TextSummary",
+    "build_summary",
+    "fuse_summaries",
+]

@@ -1,0 +1,253 @@
+"""Bucketed frequency histograms for NUMERIC element values.
+
+XCluster uses classical relational histogram machinery (paper Section 3)
+with three operations the synopsis core drives:
+
+* **construction** — equi-depth bucketing of a value collection into a
+  detailed reference histogram;
+* **fusion** (node merges, Section 4.1) — *bucket alignment* splits both
+  histograms at the union of their boundaries (apportioning counts under
+  the standard continuous-uniformity assumption) and then sums the
+  frequency counts across aligned buckets;
+* **compression** (``hist_cmprs``, Section 4.2) — merging adjacent bucket
+  pairs to shed a requested number of buckets.
+
+Values live in an integer domain ``{0 .. M-1}``; buckets cover inclusive
+integer ranges and carry fractional counts (fractions arise from bucket
+splitting during alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: Bytes per stored bucket: lo (4) + hi (4) + count (4).
+BUCKET_BYTES = 12
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One bucket: the inclusive integer range ``[lo, hi]`` and its count."""
+
+    lo: int
+    hi: int
+    count: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"invalid bucket [{self.lo}, {self.hi}]")
+        if self.count < 0:
+            raise ValueError("bucket count must be non-negative")
+
+    @property
+    def width(self) -> int:
+        """Number of integer points covered by the bucket."""
+        return self.hi - self.lo + 1
+
+    def overlap_fraction(self, low: int, high: int) -> float:
+        """Fraction of this bucket's count falling inside ``[low, high]``.
+
+        Uses the uniform-spread assumption within the bucket.
+        """
+        overlap = min(self.hi, high) - max(self.lo, low) + 1
+        if overlap <= 0:
+            return 0.0
+        return overlap / self.width
+
+
+class Histogram:
+    """An immutable bucketed frequency distribution over integers."""
+
+    __slots__ = ("buckets", "total")
+
+    def __init__(self, buckets: Sequence[HistogramBucket]) -> None:
+        previous_hi = None
+        for bucket in buckets:
+            if previous_hi is not None and bucket.lo <= previous_hi:
+                raise ValueError("histogram buckets must be sorted and disjoint")
+            previous_hi = bucket.hi
+        self.buckets: Tuple[HistogramBucket, ...] = tuple(buckets)
+        self.total = sum(bucket.count for bucket in self.buckets)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], max_buckets: int = 64) -> "Histogram":
+        """Build an equi-depth histogram from a collection of integers.
+
+        Bucket boundaries are chosen so each bucket holds roughly the same
+        number of values; ties never split a distinct value across buckets,
+        so heavily skewed distributions get singleton buckets for their
+        heavy hitters.
+        """
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be >= 1")
+        ordered = sorted(values)
+        if not ordered:
+            return cls(())
+        distinct: List[Tuple[int, int]] = []
+        for value in ordered:
+            if distinct and distinct[-1][0] == value:
+                distinct[-1] = (value, distinct[-1][1] + 1)
+            else:
+                distinct.append((value, 1))
+        if len(distinct) <= max_buckets:
+            buckets = [HistogramBucket(v, v, c) for v, c in distinct]
+            return cls(buckets)
+        target = len(ordered) / max_buckets
+        buckets = []
+        run_lo = distinct[0][0]
+        run_count = 0
+        remaining_groups = len(distinct)
+        for index, (value, count) in enumerate(distinct):
+            run_count += count
+            remaining_groups -= 1
+            remaining_buckets = max_buckets - len(buckets) - 1
+            # Close the bucket once it reaches the target depth, but never
+            # leave fewer distinct groups than buckets still to fill.
+            if (run_count >= target and remaining_buckets > 0) or (
+                remaining_groups <= remaining_buckets
+            ):
+                buckets.append(HistogramBucket(run_lo, value, run_count))
+                if index + 1 < len(distinct):
+                    run_lo = distinct[index + 1][0]
+                run_count = 0
+        if run_count > 0:
+            buckets.append(HistogramBucket(run_lo, distinct[-1][0], run_count))
+        return cls(buckets)
+
+    # -- estimation ----------------------------------------------------------
+
+    def estimate_range(self, low: int, high: int) -> float:
+        """Estimated number of values in ``[low, high]``."""
+        if low > high:
+            return 0.0
+        return sum(
+            bucket.count * bucket.overlap_fraction(low, high)
+            for bucket in self.buckets
+        )
+
+    def selectivity(self, low: int, high: int) -> float:
+        """Estimated fraction of values in ``[low, high]``."""
+        if self.total == 0:
+            return 0.0
+        return self.estimate_range(low, high) / self.total
+
+    @property
+    def domain(self) -> Tuple[int, int]:
+        """The covered integer range (lo of first bucket, hi of last)."""
+        if not self.buckets:
+            return (0, 0)
+        return (self.buckets[0].lo, self.buckets[-1].hi)
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    def boundaries(self) -> List[int]:
+        """All bucket upper edges (the atomic-predicate anchor points)."""
+        return [bucket.hi for bucket in self.buckets]
+
+    # -- fusion (bucket alignment + merge) ------------------------------------
+
+    def _aligned_counts(self, edges: Sequence[Tuple[int, int]]) -> List[float]:
+        """Counts of this histogram re-apportioned onto aligned ``edges``."""
+        counts = [0.0] * len(edges)
+        for bucket in self.buckets:
+            for index, (lo, hi) in enumerate(edges):
+                if lo > bucket.hi:
+                    break
+                fraction = bucket.overlap_fraction(lo, hi)
+                if fraction > 0.0:
+                    counts[index] += bucket.count * fraction
+        return counts
+
+    def fuse(self, other: "Histogram") -> "Histogram":
+        """Merge two histograms by bucket alignment + count summation."""
+        if not self.buckets:
+            return other
+        if not other.buckets:
+            return self
+        cuts = set()
+        for histogram in (self, other):
+            for bucket in histogram.buckets:
+                cuts.add(bucket.lo - 1)
+                cuts.add(bucket.hi)
+        lo = min(self.domain[0], other.domain[0])
+        hi = max(self.domain[1], other.domain[1])
+        edges: List[Tuple[int, int]] = []
+        start = lo
+        for cut in sorted(cut for cut in cuts if lo <= cut <= hi):
+            edges.append((start, cut))
+            start = cut + 1
+        if start <= hi:
+            edges.append((start, hi))
+        mine = self._aligned_counts(edges)
+        theirs = other._aligned_counts(edges)
+        buckets = [
+            HistogramBucket(lo_, hi_, a + b)
+            for (lo_, hi_), a, b in zip(edges, mine, theirs)
+            if a + b > 0.0
+        ]
+        return Histogram(buckets)
+
+    # -- compression ----------------------------------------------------------
+
+    def merge_adjacent(self, index: int) -> "Histogram":
+        """Merge buckets ``index`` and ``index + 1`` into one bucket."""
+        if not 0 <= index < len(self.buckets) - 1:
+            raise IndexError(f"no adjacent pair at {index}")
+        left = self.buckets[index]
+        right = self.buckets[index + 1]
+        merged = HistogramBucket(left.lo, right.hi, left.count + right.count)
+        return Histogram(self.buckets[:index] + (merged,) + self.buckets[index + 2 :])
+
+    def best_merge_index(self) -> int:
+        """The adjacent pair whose merge least perturbs range estimates.
+
+        Scores each pair by the squared estimation-error increase on the
+        prefix ranges anchored at the pair's internal boundary — the exact
+        quantity the Δ metric would measure locally — and returns the
+        argmin.  Requires at least two buckets.
+        """
+        if len(self.buckets) < 2:
+            raise ValueError("nothing to merge")
+        best_index = 0
+        best_score = None
+        for index in range(len(self.buckets) - 1):
+            left = self.buckets[index]
+            right = self.buckets[index + 1]
+            merged_width = right.hi - left.lo + 1
+            merged_count = left.count + right.count
+            # After the merge, the estimate for [lo, left.hi] becomes the
+            # merged bucket's uniform share; before, it was left.count.
+            merged_estimate = merged_count * (left.width / merged_width)
+            score = (left.count - merged_estimate) ** 2
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = index
+        return best_index
+
+    def compress(self, buckets_to_remove: int = 1) -> "Histogram":
+        """``hist_cmprs``: drop ``buckets_to_remove`` buckets via pair merges."""
+        if buckets_to_remove < 0:
+            raise ValueError("buckets_to_remove must be >= 0")
+        histogram = self
+        for _ in range(buckets_to_remove):
+            if histogram.bucket_count < 2:
+                break
+            histogram = histogram.merge_adjacent(histogram.best_merge_index())
+        return histogram
+
+    # -- accounting ------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Storage footprint: 12 bytes per bucket."""
+        return BUCKET_BYTES * len(self.buckets)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Histogram) and self.buckets == other.buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(buckets={len(self.buckets)}, total={self.total:g})"

@@ -1,0 +1,325 @@
+"""Pruned Suffix Trees (PSTs) for STRING substring selectivity.
+
+Following the substring-estimation line of work the paper builds on
+(Jagadish–Ng–Srivastava, PODS 1999), a PST is a trie over the substrings
+of a string collection.  Each node represents one substring and stores its
+*document frequency* — the number of strings in the collection containing
+it — which makes counts monotone along every root-to-node path (the PST
+*monotonicity constraint*): a string containing ``sc`` necessarily
+contains ``s``.
+
+Estimation for an unindexed query string uses the greedy
+*maximal-overlap* Markovian decomposition: the query is parsed into
+maximal indexed substrings and their conditional probabilities are
+chained, ``P(q) = P(s1) * Π P(si | overlap(si-1, si))``.
+
+Per the paper's modification of the original proposal, the tree always
+records at least one node for each symbol that appears in the string
+distribution (so the classic pruning threshold is redundant and negative
+queries on absent symbols estimate to exactly zero), and compression
+(``st_cmprs``) prunes leaves in increasing order of *pruning error* — the
+difference between a leaf's exact count and the Markovian estimate the
+remaining tree would produce for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Bytes per stored PST node: symbol (1) + count (4) + structure encoding (4).
+NODE_BYTES = 9
+
+
+class _Node:
+    """One trie node.  ``count`` is the substring's document frequency."""
+
+    __slots__ = ("char", "parent", "children", "count", "stamp")
+
+    def __init__(self, char: str, parent: Optional["_Node"]) -> None:
+        self.char = char
+        self.parent = parent
+        self.children: Dict[str, _Node] = {}
+        self.count = 0
+        # Deduplication stamp: id of the last string that touched this
+        # node, so each string increments each substring's count once.
+        self.stamp = -1
+
+    def substring(self) -> str:
+        chars = []
+        node = self
+        while node.parent is not None:
+            chars.append(node.char)
+            node = node.parent
+        return "".join(reversed(chars))
+
+
+class PrunedSuffixTree:
+    """A pruned suffix tree over a collection of strings."""
+
+    def __init__(self, max_depth: int = 6) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.root = _Node("", None)
+        self._node_count = 0  # excludes the root
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_strings(
+        cls,
+        strings: Iterable[str],
+        max_depth: int = 6,
+        max_nodes: Optional[int] = None,
+    ) -> "PrunedSuffixTree":
+        """Build a PST by inserting every substring (up to ``max_depth``)
+        of every string, then optionally pruning down to ``max_nodes``."""
+        tree = cls(max_depth)
+        for string in strings:
+            tree.insert_string(string)
+        if max_nodes is not None and tree.node_count > max_nodes:
+            tree.prune_leaves(tree.node_count - max_nodes)
+        return tree
+
+    def insert_string(self, string: str) -> None:
+        """Index one string: each of its distinct substrings (length ≤
+        ``max_depth``) gets its document frequency incremented once."""
+        stamp = self.root.stamp + 1
+        self.root.stamp = stamp
+        self.root.count += 1
+        for start in range(len(string)):
+            node = self.root
+            for offset in range(start, min(start + self.max_depth, len(string))):
+                char = string[offset]
+                child = node.children.get(char)
+                if child is None:
+                    child = _Node(char, node)
+                    node.children[char] = child
+                    self._node_count += 1
+                if child.stamp != stamp:
+                    child.stamp = stamp
+                    child.count += 1
+                node = child
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def string_count(self) -> int:
+        """Number of strings summarized (the root count)."""
+        return self.root.count
+
+    @property
+    def node_count(self) -> int:
+        """Number of substring nodes (root excluded)."""
+        return self._node_count
+
+    def lookup(self, substring: str) -> Optional[int]:
+        """The stored count of ``substring``, or ``None`` if not indexed."""
+        node = self.root
+        for char in substring:
+            node = node.children.get(char)
+            if node is None:
+                return None
+        return node.count
+
+    def _longest_match(self, text: str, start: int) -> int:
+        """Length of the longest indexed substring starting at ``start``."""
+        node = self.root
+        length = 0
+        for offset in range(start, len(text)):
+            node = node.children.get(text[offset])
+            if node is None:
+                break
+            length += 1
+        return length
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimate_count(self, query: str) -> float:
+        """Estimated number of strings containing ``query`` as a substring.
+
+        Exact for indexed substrings; greedy maximal-overlap Markov
+        chaining otherwise.  Returns 0 when the query uses a symbol that
+        never occurs in the collection.
+        """
+        if self.string_count == 0:
+            return 0.0
+        if not query:
+            return float(self.string_count)
+        prefix_len = self._longest_match(query, 0)
+        if prefix_len == 0:
+            return 0.0
+        probability = self.lookup(query[:prefix_len]) / self.string_count
+        position = prefix_len
+        while position < len(query):
+            piece = self._best_overlap_piece(query, position)
+            if piece is None:
+                return 0.0
+            overlap_start, extension = piece
+            joint = self.lookup(query[overlap_start : position + extension])
+            conditioning = (
+                self.lookup(query[overlap_start:position])
+                if overlap_start < position
+                else self.string_count
+            )
+            if not conditioning:
+                return 0.0
+            probability *= joint / conditioning
+            position += extension
+        return probability * self.string_count
+
+    def _best_overlap_piece(
+        self, query: str, position: int
+    ) -> Optional[Tuple[int, int]]:
+        """The maximal-overlap continuation at ``position``.
+
+        Returns ``(overlap_start, extension)`` where
+        ``query[overlap_start : position + extension]`` is indexed,
+        ``extension >= 1``, and the overlap ``position - overlap_start`` is
+        maximal (ties broken toward longer extensions).  ``None`` when even
+        the single character ``query[position]`` is unindexed.
+        """
+        min_start = max(0, position - self.max_depth + 1)
+        for overlap_start in range(min_start, position + 1):
+            matched = self._longest_match(query, overlap_start)
+            extension = overlap_start + matched - position
+            if extension >= 1:
+                return (overlap_start, extension)
+        return None
+
+    def selectivity(self, query: str) -> float:
+        """Estimated fraction of strings containing ``query``."""
+        if self.string_count == 0:
+            return 0.0
+        estimate = self.estimate_count(query) / self.string_count
+        return min(1.0, max(0.0, estimate))
+
+    # -- pruning (st_cmprs) ------------------------------------------------------
+
+    def _markov_estimate_without(self, node: _Node) -> float:
+        """The count the tree would estimate for ``node``'s substring if
+        the node were pruned: the first-order Markov combination of its
+        parent and its longest proper suffix still in the tree."""
+        substring = node.substring()
+        parent_count = node.parent.count if node.parent is not None else self.string_count
+        # Longest proper suffix of the substring that is still indexed
+        # (excluding the node itself, which is about to go away).
+        for start in range(1, len(substring)):
+            suffix_count = self.lookup(substring[start:])
+            if suffix_count is None:
+                continue
+            conditioning = (
+                self.lookup(substring[start:-1]) if len(substring) - start > 1 else None
+            )
+            if conditioning is None:
+                conditioning = self.string_count
+            if conditioning:
+                return parent_count * (suffix_count / conditioning)
+        # No usable suffix: fall back to the parent's count scaled by the
+        # unconditional frequency of the final symbol.
+        last_char = self.root.children.get(substring[-1])
+        if last_char is None or self.string_count == 0:
+            return 0.0
+        return parent_count * (last_char.count / self.string_count)
+
+    def pruning_error(self, node: _Node) -> float:
+        """|exact count − post-prune Markov estimate| for a leaf node."""
+        return abs(node.count - self._markov_estimate_without(node))
+
+    def _iter_nodes(self) -> Iterator[_Node]:
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def _prunable_leaves(self) -> List[_Node]:
+        """Current leaves that may be removed: depth ≥ 2 (each observed
+        symbol keeps its depth-1 node, per the paper's modification)."""
+        return [
+            node
+            for node in self._iter_nodes()
+            if not node.children and node.parent is not self.root
+        ]
+
+    def prune_leaves(self, count: int) -> int:
+        """``st_cmprs``: prune up to ``count`` leaves in increasing
+        pruning-error order.  Returns the number actually pruned."""
+        pruned = 0
+        while pruned < count:
+            leaves = self._prunable_leaves()
+            if not leaves:
+                break
+            ranked = sorted(
+                leaves, key=lambda node: (self.pruning_error(node), -node.count)
+            )
+            for node in ranked:
+                if pruned >= count:
+                    break
+                del node.parent.children[node.char]
+                self._node_count -= 1
+                pruned += 1
+        return pruned
+
+    @property
+    def can_prune(self) -> bool:
+        return bool(self._prunable_leaves())
+
+    # -- fusion ---------------------------------------------------------------
+
+    def fuse(self, other: "PrunedSuffixTree") -> "PrunedSuffixTree":
+        """Combine two PSTs: union of substrings with summed counts."""
+        result = PrunedSuffixTree(max(self.max_depth, other.max_depth))
+        result.root.count = self.root.count + other.root.count
+        for source in (self, other):
+            stack: List[Tuple[_Node, _Node]] = []
+            for char, child in source.root.children.items():
+                target = result.root.children.get(char)
+                if target is None:
+                    target = _Node(char, result.root)
+                    result.root.children[char] = target
+                    result._node_count += 1
+                stack.append((child, target))
+            while stack:
+                src, dst = stack.pop()
+                dst.count += src.count
+                for char, child in src.children.items():
+                    target = dst.children.get(char)
+                    if target is None:
+                        target = _Node(char, dst)
+                        dst.children[char] = target
+                        result._node_count += 1
+                    stack.append((child, target))
+        return result
+
+    # -- enumeration and accounting ---------------------------------------------
+
+    def substrings(self) -> Iterator[Tuple[str, int]]:
+        """All indexed substrings with their counts (arbitrary order)."""
+        for node in self._iter_nodes():
+            yield node.substring(), node.count
+
+    def top_substrings(self, limit: int) -> List[Tuple[str, int]]:
+        """The ``limit`` highest-count substrings (deterministic order)."""
+        ranked = sorted(self.substrings(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    def check_monotonicity(self) -> bool:
+        """Verify the PST invariant count(child) <= count(parent)."""
+        for node in self._iter_nodes():
+            parent_count = (
+                node.parent.count if node.parent is not self.root else self.root.count
+            )
+            if node.count > parent_count:
+                return False
+        return True
+
+    def size_bytes(self) -> int:
+        """Storage footprint: 9 bytes per trie node."""
+        return NODE_BYTES * self._node_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrunedSuffixTree(strings={self.string_count}, "
+            f"nodes={self._node_count}, max_depth={self.max_depth})"
+        )

@@ -1,0 +1,42 @@
+"""Workloads and the paper's evaluation metric (Section 6.1).
+
+* :mod:`repro.workload.generator` — random *positive* twig queries
+  (non-zero selectivity), sampled with a bias toward high-count paths,
+  with value predicates attached at summarized nodes, stratified into
+  the paper's reporting classes (Struct / Numeric / String / Text);
+* :mod:`repro.workload.negative` — zero-selectivity variants used to
+  verify that XClusters "consistently yield close to zero estimates";
+* :mod:`repro.workload.metrics` — average absolute relative error with
+  the 10-percentile *sanity bound*, plus the low-count absolute-error
+  breakdown of Figure 9.
+"""
+
+from repro.workload.generator import (
+    QueryClass,
+    TwigWorkloadGenerator,
+    Workload,
+    WorkloadQuery,
+    generate_workload,
+)
+from repro.workload.negative import make_negative_workload
+from repro.workload.metrics import (
+    ErrorReport,
+    absolute_relative_error,
+    evaluate_estimates,
+    evaluate_synopsis,
+    sanity_bound,
+)
+
+__all__ = [
+    "QueryClass",
+    "TwigWorkloadGenerator",
+    "Workload",
+    "WorkloadQuery",
+    "generate_workload",
+    "make_negative_workload",
+    "ErrorReport",
+    "absolute_relative_error",
+    "evaluate_estimates",
+    "evaluate_synopsis",
+    "sanity_bound",
+]

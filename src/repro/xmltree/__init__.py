@@ -1,0 +1,28 @@
+"""XML tree substrate: node-labeled trees with typed element values.
+
+This package provides the document model that every other subsystem builds
+on: :class:`~repro.xmltree.tree.XMLElement` / :class:`~repro.xmltree.tree.XMLTree`
+(a node-labeled tree where each element optionally carries a NUMERIC,
+STRING, or TEXT value), an XML parser and serializer implemented from
+scratch, and structural statistics used by the experiment harness.
+"""
+
+from repro.xmltree.tree import XMLElement, XMLTree
+from repro.xmltree.types import ValueType, infer_value_type
+from repro.xmltree.parser import XMLParseError, parse_document, parse_string
+from repro.xmltree.serializer import serialize, serialized_size_bytes
+from repro.xmltree.stats import TreeStatistics, collect_statistics
+
+__all__ = [
+    "XMLElement",
+    "XMLTree",
+    "ValueType",
+    "infer_value_type",
+    "XMLParseError",
+    "parse_document",
+    "parse_string",
+    "serialize",
+    "serialized_size_bytes",
+    "TreeStatistics",
+    "collect_statistics",
+]

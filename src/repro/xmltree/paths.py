@@ -1,0 +1,36 @@
+"""Label-path utilities shared across the library.
+
+A *label path* is the root-to-element sequence of tags.  Experiment
+configurations name the paths that carry value summaries; a path entry
+may use the ``"*"`` wildcard for a single segment (e.g. one pattern
+covering XMark's six region elements).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: A root-to-element label path (or pattern, when segments include "*").
+LabelPath = Tuple[str, ...]
+
+#: The single-segment wildcard usable in label-path patterns.
+WILDCARD_SEGMENT = "*"
+
+
+def path_matches(path: LabelPath, pattern: LabelPath) -> bool:
+    """Whether a concrete label path matches a pattern.
+
+    Matching is segment-wise and length-strict; a ``*`` pattern segment
+    matches any single label.
+    """
+    if len(path) != len(pattern):
+        return False
+    return all(
+        expected == WILDCARD_SEGMENT or expected == segment
+        for segment, expected in zip(path, pattern)
+    )
+
+
+def matches_any(path: LabelPath, patterns: Iterable[LabelPath]) -> bool:
+    """Whether ``path`` matches at least one of ``patterns``."""
+    return any(path_matches(path, pattern) for pattern in patterns)

@@ -1,0 +1,67 @@
+"""Serialization of :class:`~repro.xmltree.tree.XMLTree` back to XML text.
+
+The serializer is the inverse of :mod:`repro.xmltree.parser` for documents
+produced by the dataset generators: NUMERIC values serialize as their
+integer literal, STRING values as escaped character data, and TEXT values
+as a space-joined, sorted term list (the Boolean IR model does not retain
+word order, so a canonical order is used).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmltree.tree import XMLElement, XMLTree
+from repro.xmltree.types import ValueType
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+
+
+def _escape(text: str) -> str:
+    for raw, replacement in _ESCAPES.items():
+        text = text.replace(raw, replacement)
+    return text
+
+
+def _value_text(element: XMLElement) -> str:
+    if element.value_type is ValueType.NUMERIC:
+        return str(element.value)
+    if element.value_type is ValueType.STRING:
+        return _escape(element.value)
+    if element.value_type is ValueType.TEXT:
+        return _escape(" ".join(sorted(element.value)))
+    return ""
+
+
+def _serialize_element(element: XMLElement, indent: int, pieces: List[str]) -> None:
+    pad = "  " * indent
+    if not element.children and element.value_type is ValueType.NULL:
+        pieces.append(f"{pad}<{element.label}/>")
+        return
+    if not element.children:
+        pieces.append(
+            f"{pad}<{element.label}>{_value_text(element)}</{element.label}>"
+        )
+        return
+    pieces.append(f"{pad}<{element.label}>")
+    for child in element.children:
+        _serialize_element(child, indent + 1, pieces)
+    pieces.append(f"{pad}</{element.label}>")
+
+
+def serialize(tree: XMLTree, declaration: bool = True) -> str:
+    """Render ``tree`` as indented XML text."""
+    pieces: List[str] = []
+    if declaration:
+        pieces.append('<?xml version="1.0" encoding="utf-8"?>')
+    _serialize_element(tree.root, 0, pieces)
+    return "\n".join(pieces) + "\n"
+
+
+def serialized_size_bytes(tree: XMLTree) -> int:
+    """The UTF-8 size of the serialized document.
+
+    This is the "File Size" column of the paper's Table 1: the footprint
+    of the raw data that a synopsis must compress.
+    """
+    return len(serialize(tree).encode("utf-8"))

@@ -1,0 +1,87 @@
+"""Structural and value statistics over an XML document.
+
+These feed the experiment harness (Table 1 reports element counts and
+sizes) and the workload generator (which biases its sampling toward
+high-count paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.xmltree.tree import XMLTree
+from repro.xmltree.types import ValueType
+
+
+@dataclass
+class TreeStatistics:
+    """Summary statistics for one document.
+
+    Attributes:
+        element_count: total number of elements.
+        max_depth: maximum element depth (root is 0).
+        label_counts: elements per tag.
+        path_counts: elements per root-to-element label path.
+        type_counts: elements per value type.
+        numeric_domain: (min, max) over all NUMERIC values, or ``None``.
+        distinct_terms: size of the TEXT term dictionary.
+        distinct_strings: number of distinct STRING values.
+    """
+
+    element_count: int = 0
+    max_depth: int = 0
+    label_counts: Dict[str, int] = field(default_factory=dict)
+    path_counts: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    type_counts: Dict[ValueType, int] = field(default_factory=dict)
+    numeric_domain: Tuple[int, int] = None
+    distinct_terms: int = 0
+    distinct_strings: int = 0
+
+    @property
+    def valued_element_count(self) -> int:
+        """Elements carrying a non-NULL value."""
+        return self.element_count - self.type_counts.get(ValueType.NULL, 0)
+
+    def top_paths(self, limit: int = 10) -> List[Tuple[Tuple[str, ...], int]]:
+        """The ``limit`` most populous label paths, highest count first."""
+        ranked = sorted(self.path_counts.items(), key=lambda item: -item[1])
+        return ranked[:limit]
+
+
+def collect_statistics(tree: XMLTree) -> TreeStatistics:
+    """Walk ``tree`` once and gather :class:`TreeStatistics`."""
+    stats = TreeStatistics()
+    numeric_min = None
+    numeric_max = None
+    terms = set()
+    strings = set()
+
+    # Depth is tracked with an explicit stack to avoid recomputing
+    # label paths per element (label_path() is O(depth)).
+    stack = [(tree.root, 0, (tree.root.label,))]
+    while stack:
+        element, depth, path = stack.pop()
+        stats.element_count += 1
+        stats.max_depth = max(stats.max_depth, depth)
+        stats.label_counts[element.label] = stats.label_counts.get(element.label, 0) + 1
+        stats.path_counts[path] = stats.path_counts.get(path, 0) + 1
+        vtype = element.value_type
+        stats.type_counts[vtype] = stats.type_counts.get(vtype, 0) + 1
+        if vtype is ValueType.NUMERIC:
+            if numeric_min is None or element.value < numeric_min:
+                numeric_min = element.value
+            if numeric_max is None or element.value > numeric_max:
+                numeric_max = element.value
+        elif vtype is ValueType.STRING:
+            strings.add(element.value)
+        elif vtype is ValueType.TEXT:
+            terms.update(element.value)
+        for child in element.children:
+            stack.append((child, depth + 1, path + (child.label,)))
+
+    if numeric_min is not None:
+        stats.numeric_domain = (numeric_min, numeric_max)
+    stats.distinct_terms = len(terms)
+    stats.distinct_strings = len(strings)
+    return stats

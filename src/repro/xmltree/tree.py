@@ -1,0 +1,190 @@
+"""The node-labeled XML document tree (paper Section 2).
+
+An XML document is modeled as a tree ``T(V, E)`` whose nodes are elements
+with a label (tag) and an optional typed value.  :class:`XMLElement` is a
+plain tree node; :class:`XMLTree` wraps the root and provides traversal,
+indexing, and integrity checking for the whole document.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.xmltree.types import (
+    ElementValue,
+    ValueType,
+    infer_value_type,
+    normalize_value,
+)
+
+
+class XMLElement:
+    """A single element node: a label, an optional value, and children.
+
+    Attributes:
+        label: the element tag.
+        value: the element's content (``None``, ``int``, ``str``, or a
+            frozenset of terms for TEXT).
+        children: child elements in document order.
+        parent: the parent element, or ``None`` for the root.
+    """
+
+    __slots__ = ("label", "value", "children", "parent", "_value_type")
+
+    def __init__(
+        self,
+        label: str,
+        value: ElementValue = None,
+        children: Optional[Sequence["XMLElement"]] = None,
+    ) -> None:
+        if not label:
+            raise ValueError("element label must be non-empty")
+        self.label = label
+        self.value = normalize_value(value)
+        self._value_type = infer_value_type(self.value)
+        self.children: List[XMLElement] = []
+        self.parent: Optional[XMLElement] = None
+        if children:
+            for child in children:
+                self.append_child(child)
+
+    @property
+    def value_type(self) -> ValueType:
+        """The :class:`ValueType` of this element's content."""
+        return self._value_type
+
+    def append_child(self, child: "XMLElement") -> "XMLElement":
+        """Attach ``child`` as the last child of this element."""
+        if child.parent is not None:
+            raise ValueError(
+                f"element <{child.label}> already has a parent <{child.parent.label}>"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def add(self, label: str, value: ElementValue = None) -> "XMLElement":
+        """Create a new child element and return it (builder convenience)."""
+        return self.append_child(XMLElement(label, value))
+
+    def set_value(self, value: ElementValue) -> None:
+        """Replace this element's value, re-inferring its type."""
+        self.value = normalize_value(value)
+        self._value_type = infer_value_type(self.value)
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """Yield this element and all descendants in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator["XMLElement"]:
+        """Yield all proper descendants in pre-order."""
+        nodes = iter(self.iter())
+        next(nodes)  # skip self
+        yield from nodes
+
+    def children_with_label(self, label: str) -> List["XMLElement"]:
+        """Children whose tag equals ``label``."""
+        return [child for child in self.children if child.label == label]
+
+    def ancestors(self) -> Iterator["XMLElement"]:
+        """Yield ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def label_path(self) -> Tuple[str, ...]:
+        """The root-to-element sequence of labels (the element's *path*)."""
+        labels = [self.label]
+        labels.extend(anc.label for anc in self.ancestors())
+        return tuple(reversed(labels))
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def subtree_size(self) -> int:
+        """Number of elements in the subtree rooted here (inclusive)."""
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        value_repr = "" if self.value is None else f" value={self.value!r}"
+        return f"<XMLElement {self.label}{value_repr} children={len(self.children)}>"
+
+
+class XMLTree:
+    """A whole XML document: a root element plus document-level helpers."""
+
+    def __init__(self, root: XMLElement) -> None:
+        if root.parent is not None:
+            raise ValueError("document root must not have a parent")
+        self.root = root
+
+    # -- iteration and lookups ---------------------------------------------
+
+    def __iter__(self) -> Iterator[XMLElement]:
+        return self.root.iter()
+
+    def __len__(self) -> int:
+        return self.root.subtree_size()
+
+    def elements_by_label(self) -> Dict[str, List[XMLElement]]:
+        """Group every element in the document by its tag."""
+        groups: Dict[str, List[XMLElement]] = {}
+        for element in self:
+            groups.setdefault(element.label, []).append(element)
+        return groups
+
+    def elements_on_path(self, path: Sequence[str]) -> List[XMLElement]:
+        """All elements whose root-to-element label path equals ``path``."""
+        target = tuple(path)
+        return [element for element in self if element.label_path() == target]
+
+    def labels(self) -> List[str]:
+        """The sorted set of distinct tags in the document."""
+        return sorted({element.label for element in self})
+
+    def value_paths(self) -> List[Tuple[str, ...]]:
+        """Sorted distinct label paths that lead to valued elements."""
+        paths = {
+            element.label_path()
+            for element in self
+            if element.value_type is not ValueType.NULL
+        }
+        return sorted(paths)
+
+    def find_all(self, predicate: Callable[[XMLElement], bool]) -> List[XMLElement]:
+        """All elements satisfying ``predicate``, in document order."""
+        return [element for element in self if predicate(element)]
+
+    # -- integrity ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check parent/child consistency over the whole tree.
+
+        Raises:
+            ValueError: if any child's ``parent`` pointer is inconsistent
+                or the tree contains a cycle.
+        """
+        seen = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                raise ValueError("tree contains a cycle or shared node")
+            seen.add(id(node))
+            for child in node.children:
+                if child.parent is not node:
+                    raise ValueError(
+                        f"child <{child.label}> of <{node.label}> has wrong parent"
+                    )
+                stack.append(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XMLTree root={self.root.label} elements={len(self)}>"

@@ -1,0 +1,93 @@
+"""Value types for XML element content.
+
+The paper's data model (Section 2) assigns each element a value of one of
+four types:
+
+* ``NULL`` — the element carries no value (pure structure);
+* ``NUMERIC`` — an integer from a domain ``{0 .. M-1}``;
+* ``STRING`` — a short string queried with substring (``contains``)
+  predicates;
+* ``TEXT`` — free text modeled as a Boolean term vector over a term
+  dictionary, queried with IR-style ``ftcontains`` predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Optional, Union
+
+#: A TEXT value is a set of terms (the Boolean-vector IR model of the
+#: paper: entry ``t`` is 1 iff term ``t`` occurs in the free text).
+TermSet = FrozenSet[str]
+
+#: The union of concrete Python types an element value may take.
+ElementValue = Union[int, str, TermSet, None]
+
+
+class ValueType(enum.Enum):
+    """The data type of an XML element's value (paper Section 2)."""
+
+    NULL = "null"
+    NUMERIC = "numeric"
+    STRING = "string"
+    TEXT = "text"
+
+    @property
+    def has_value(self) -> bool:
+        """Whether elements of this type carry content."""
+        return self is not ValueType.NULL
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def infer_value_type(value: ElementValue) -> ValueType:
+    """Infer the :class:`ValueType` of a raw element value.
+
+    ``int`` maps to NUMERIC, ``str`` to STRING, and any set of strings to
+    TEXT.  ``None`` maps to NULL.
+
+    Raises:
+        TypeError: if ``value`` is of an unsupported type.
+    """
+    if value is None:
+        return ValueType.NULL
+    if isinstance(value, bool):
+        raise TypeError("bool is not a supported XML element value")
+    if isinstance(value, int):
+        return ValueType.NUMERIC
+    if isinstance(value, str):
+        return ValueType.STRING
+    if isinstance(value, (set, frozenset)):
+        if not all(isinstance(term, str) for term in value):
+            raise TypeError("TEXT values must be sets of string terms")
+        return ValueType.TEXT
+    raise TypeError(f"unsupported element value type: {type(value).__name__}")
+
+
+def normalize_value(value: ElementValue) -> ElementValue:
+    """Return ``value`` in canonical form (TEXT values become frozensets)."""
+    if isinstance(value, set):
+        return frozenset(value)
+    return value
+
+
+def tokenize_text(text: str) -> TermSet:
+    """Tokenize free text into the Boolean term set of the IR model.
+
+    Lower-cases, splits on non-alphanumeric characters, and drops empty
+    tokens; this is the canonical text-to-term-vector mapping used by the
+    parser, the datasets, and the exact evaluator alike so that all layers
+    agree on term identity.
+    """
+    terms = set()
+    word = []
+    for ch in text.lower():
+        if ch.isalnum():
+            word.append(ch)
+        elif word:
+            terms.add("".join(word))
+            word = []
+    if word:
+        terms.add("".join(word))
+    return frozenset(terms)

@@ -1,0 +1,48 @@
+"""Shared fixtures: small deterministic datasets and synopses.
+
+Heavy inputs are session-scoped so the suite stays fast; tests must not
+mutate them (use ``copy.deepcopy`` before compressing a shared synopsis).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_reference_synopsis
+from repro.datasets import bibliography_tree, generate_imdb, generate_xmark
+
+
+@pytest.fixture(scope="session")
+def bibliography():
+    """The paper's Figure 1 document."""
+    return bibliography_tree()
+
+
+@pytest.fixture(scope="session")
+def imdb_small():
+    """A tiny IMDB dataset (~1k elements)."""
+    return generate_imdb(scale=0.05, seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_small():
+    """A tiny XMark dataset (~1k elements)."""
+    return generate_xmark(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imdb_reference(imdb_small):
+    """Reference synopsis of the tiny IMDB dataset (do not mutate)."""
+    return build_reference_synopsis(imdb_small.tree, imdb_small.value_paths)
+
+
+@pytest.fixture(scope="session")
+def xmark_reference(xmark_small):
+    """Reference synopsis of the tiny XMark dataset (do not mutate)."""
+    return build_reference_synopsis(xmark_small.tree, xmark_small.value_paths)
+
+
+@pytest.fixture(scope="session")
+def bibliography_reference(bibliography):
+    """Reference synopsis of the Figure 1 document (do not mutate)."""
+    return build_reference_synopsis(bibliography.tree, bibliography.value_paths)

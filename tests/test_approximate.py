@@ -1,0 +1,156 @@
+"""Tests for approximate query answers (document synthesis) and explain."""
+
+import copy
+import random
+
+import pytest
+
+from repro.core import (
+    build_reference_synopsis,
+    explain,
+    synthesize_document,
+)
+from repro.core.approximate import DocumentSynthesizer, SynthesisBudgetExceeded
+from repro.core.builder import BuildConfig, XClusterBuilder
+from repro.core.sizing import structural_size_bytes
+from repro.core.synopsis import XClusterSynopsis
+from repro.query import parse_twig
+from repro.query.evaluator import evaluate_selectivity
+from repro.values.summary import SummaryConfig, build_summary
+from repro.xmltree.types import ValueType
+
+
+class TestSynthesis:
+    def test_reference_synthesis_matches_structure(self, bibliography, bibliography_reference):
+        document = synthesize_document(bibliography_reference, seed=3)
+        document.validate()
+        # The reference synopsis of Figure 1 is count-stable with integer
+        # edges, so expansion reproduces exact element counts per label.
+        original = bibliography.tree.elements_by_label()
+        synthesized = document.elements_by_label()
+        for label, elements in original.items():
+            assert len(synthesized.get(label, [])) == len(elements), label
+
+    def test_values_are_typed(self, bibliography_reference):
+        document = synthesize_document(bibliography_reference, seed=3)
+        for element in document:
+            if element.label == "year":
+                assert element.value_type is ValueType.NUMERIC
+            if element.label in ("keywords", "abstract", "foreword"):
+                assert element.value_type is ValueType.TEXT
+
+    def test_deterministic_per_seed(self, bibliography_reference):
+        first = synthesize_document(bibliography_reference, seed=5)
+        second = synthesize_document(bibliography_reference, seed=5)
+        assert len(first) == len(second)
+        years_first = sorted(e.value for e in first if e.label == "year")
+        years_second = sorted(e.value for e in second if e.label == "year")
+        assert years_first == years_second
+
+    def test_counts_tracked_in_expectation(self, imdb_small, imdb_reference):
+        document = synthesize_document(imdb_reference, seed=11)
+        ratio = len(document) / imdb_small.element_count
+        assert 0.8 < ratio < 1.2
+
+    def test_approximate_answers_track_estimates(self, imdb_small, imdb_reference):
+        document = synthesize_document(imdb_reference, seed=2)
+        for text in ("//movie", "//movie/cast/actor", "//show//episode"):
+            query = parse_twig(text)
+            true_count = evaluate_selectivity(imdb_small.tree, query)
+            approximate = evaluate_selectivity(document, query)
+            assert approximate == pytest.approx(true_count, rel=0.35), text
+
+    def test_compressed_synopsis_synthesis(self, imdb_small):
+        synopsis = build_reference_synopsis(imdb_small.tree, imdb_small.value_paths)
+        config = BuildConfig(
+            structural_budget=structural_size_bytes(synopsis) // 3,
+            value_budget=10**9,
+            pool_max=400,
+            pool_min=200,
+        )
+        XClusterBuilder(config).compress(synopsis)
+        document = synthesize_document(synopsis, seed=7)
+        document.validate()
+        ratio = len(document) / imdb_small.element_count
+        assert 0.6 < ratio < 1.5
+
+    def test_element_budget_enforced(self, imdb_reference):
+        with pytest.raises(SynthesisBudgetExceeded):
+            DocumentSynthesizer(imdb_reference, seed=0, max_elements=10).synthesize()
+
+    def test_depth_cap_stops_cycles(self):
+        synopsis = XClusterSynopsis()
+        root = synopsis.add_node("r", ValueType.NULL, 1)
+        recursive = synopsis.add_node("s", ValueType.NULL, 100)
+        synopsis.set_root(root)
+        synopsis.add_edge(root, recursive, 2.0)
+        synopsis.add_edge(recursive, recursive, 1.0)  # would never stop
+        document = DocumentSynthesizer(
+            synopsis, seed=0, max_elements=10_000, max_depth=5
+        ).synthesize()
+        assert len(document) <= 1 + 2 * 5
+
+    def test_sample_values_follow_distribution(self):
+        config = SummaryConfig()
+        summary = build_summary(ValueType.NUMERIC, [10] * 90 + [99] * 10, config)
+        rng = random.Random(0)
+        draws = [summary.sample_value(rng) for _ in range(300)]
+        assert all(value in (10, 99) for value in draws)
+        fraction_ten = draws.count(10) / len(draws)
+        assert 0.8 < fraction_ten < 1.0
+
+    def test_sample_text_terms(self):
+        config = SummaryConfig()
+        summary = build_summary(
+            ValueType.TEXT,
+            [frozenset({"always"}), frozenset({"always", "rare"})] * 10,
+            config,
+        )
+        rng = random.Random(0)
+        draws = [summary.sample_value(rng) for _ in range(50)]
+        always_rate = sum("always" in terms for terms in draws) / len(draws)
+        rare_rate = sum("rare" in terms for terms in draws) / len(draws)
+        assert always_rate == 1.0
+        assert 0.2 < rare_rate < 0.8
+
+    def test_sample_string_uses_summarized_symbols(self):
+        config = SummaryConfig()
+        summary = build_summary(ValueType.STRING, ["abba", "abab"], config)
+        rng = random.Random(0)
+        for _ in range(20):
+            sampled = summary.sample_value(rng)
+            assert set(sampled) <= {"a", "b"}
+
+
+class TestExplain:
+    def test_estimate_matches_estimator(self, bibliography_reference):
+        from repro.core import estimate_selectivity
+
+        query = parse_twig("//paper[./year > 2000]/title")
+        explanation = explain(bibliography_reference, query)
+        assert explanation.estimate == pytest.approx(
+            estimate_selectivity(bibliography_reference, query)
+        )
+
+    def test_branches_recorded(self, bibliography_reference):
+        query = parse_twig("//paper/title")
+        explanation = explain(bibliography_reference, query)
+        labels = {branch.label for branch in explanation.branches}
+        assert "paper" in labels and "title" in labels
+
+    def test_contributions_multiply_out(self, bibliography_reference):
+        query = parse_twig("//book")
+        explanation = explain(bibliography_reference, query)
+        total = sum(
+            branch.contribution
+            for branch in explanation.branches
+            if branch.label == "book"
+        )
+        assert total == pytest.approx(explanation.estimate)
+
+    def test_render_is_readable(self, bibliography_reference):
+        query = parse_twig("//paper[./year > 2000]/title")
+        text = explain(bibliography_reference, query).render()
+        assert "estimate:" in text
+        assert "sigma=" in text
+        assert "cluster #" in text

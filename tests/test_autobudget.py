@@ -1,0 +1,95 @@
+"""Tests for automatic B_str / B_val budget allocation."""
+
+import pytest
+
+from repro.core import (
+    allocate_budget,
+    build_reference_synopsis,
+    build_xcluster_auto,
+    structural_size_bytes,
+    total_size_bytes,
+    value_size_bytes,
+)
+from repro.core.builder import BuildConfig
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def sample(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    workload = generate_workload(imdb_small, queries_per_class=4, seed=31)
+    return [(wq.query, wq.exact) for wq in workload.queries]
+
+
+@pytest.fixture(scope="module")
+def build_config():
+    return BuildConfig(pool_max=500, pool_min=250)
+
+
+class TestAllocateBudget:
+    def test_budget_respected(self, imdb_reference, sample, build_config):
+        total = total_size_bytes(imdb_reference) // 3
+        result = allocate_budget(
+            imdb_reference, total, sample, build_config, ratio_grid=(0.1, 0.3)
+        )
+        assert result.structural_budget + result.value_budget <= total
+        assert structural_size_bytes(result.synopsis) <= result.structural_budget
+        assert value_size_bytes(result.synopsis) <= result.value_budget
+
+    def test_reference_not_mutated(self, imdb_reference, sample, build_config):
+        nodes_before = len(imdb_reference)
+        allocate_budget(
+            imdb_reference,
+            total_size_bytes(imdb_reference) // 3,
+            sample,
+            build_config,
+            ratio_grid=(0.2,),
+            refine_steps=0,
+        )
+        assert len(imdb_reference) == nodes_before
+
+    def test_picks_minimum_error_trial(self, imdb_reference, sample, build_config):
+        result = allocate_budget(
+            imdb_reference,
+            total_size_bytes(imdb_reference) // 3,
+            sample,
+            build_config,
+            ratio_grid=(0.05, 0.2, 0.4),
+            refine_steps=1,
+        )
+        assert result.error == min(error for _, error in result.trials)
+        assert any(abs(ratio - result.ratio) < 1e-9 for ratio, _ in result.trials)
+
+    def test_trials_cover_grid(self, imdb_reference, sample, build_config):
+        grid = (0.05, 0.2, 0.4)
+        result = allocate_budget(
+            imdb_reference,
+            total_size_bytes(imdb_reference) // 3,
+            sample,
+            build_config,
+            ratio_grid=grid,
+            refine_steps=0,
+        )
+        evaluated = {ratio for ratio, _ in result.trials}
+        assert {0.05, 0.2, 0.4} <= evaluated
+
+    def test_validation(self, imdb_reference, sample):
+        with pytest.raises(ValueError):
+            allocate_budget(imdb_reference, 0, sample)
+        with pytest.raises(ValueError):
+            allocate_budget(imdb_reference, 1000, [])
+
+
+class TestBuildAuto:
+    def test_end_to_end(self, imdb_small, sample, build_config):
+        reference = build_reference_synopsis(
+            imdb_small.tree, imdb_small.value_paths
+        )
+        total = total_size_bytes(reference) // 4
+        result = build_xcluster_auto(
+            imdb_small.tree, total, sample, imdb_small.value_paths, build_config
+        )
+        result.synopsis.validate()
+        assert total_size_bytes(result.synopsis) <= total
+        assert 0.0 <= result.error
+        assert 0.0 < result.ratio < 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for baseline policies and structure-only summaries."""
+
+import copy
+
+import pytest
+
+from repro.core import build_reference_synopsis, structural_size_bytes
+from repro.core.baselines import (
+    build_structure_only_synopsis,
+    compress_with_policy,
+    make_smallest_count_policy,
+    naive_prune_pst,
+    random_policy,
+)
+from repro.values.pst import PrunedSuffixTree
+
+
+class TestPolicies:
+    def test_random_policy_compresses_to_budget(self, imdb_small, imdb_reference):
+        synopsis = copy.deepcopy(imdb_reference)
+        target = structural_size_bytes(synopsis) // 2
+        compress_with_policy(synopsis, target, random_policy, seed=3)
+        assert structural_size_bytes(synopsis) <= target
+        synopsis.validate()
+
+    def test_random_policy_deterministic_per_seed(self, imdb_reference):
+        results = []
+        for _ in range(2):
+            synopsis = copy.deepcopy(imdb_reference)
+            target = structural_size_bytes(synopsis) // 2
+            compress_with_policy(synopsis, target, random_policy, seed=42)
+            results.append(len(synopsis))
+        assert results[0] == results[1]
+
+    def test_smallest_count_policy(self, imdb_reference):
+        synopsis = copy.deepcopy(imdb_reference)
+        target = structural_size_bytes(synopsis) // 2
+        policy = make_smallest_count_policy(synopsis)
+        compress_with_policy(synopsis, target, policy)
+        assert structural_size_bytes(synopsis) <= target
+        synopsis.validate()
+
+    def test_policy_stops_when_no_pairs(self, bibliography):
+        synopsis = build_reference_synopsis(bibliography.tree)
+        compress_with_policy(synopsis, 1, random_policy)  # must terminate
+        synopsis.validate()
+
+
+class TestStructureOnly:
+    def test_no_value_summaries(self, imdb_small):
+        synopsis = build_structure_only_synopsis(
+            imdb_small.tree, imdb_small.value_paths
+        )
+        assert not synopsis.valued_nodes()
+        assert len(synopsis) > 1
+
+
+class TestNaivePstPruning:
+    def test_prunes_requested_count(self):
+        pst = PrunedSuffixTree.from_strings(["star wars", "star trek"], max_depth=4)
+        before = pst.node_count
+        pruned = naive_prune_pst(pst, 5)
+        assert pruned == 5
+        assert pst.node_count == before - 5
+        assert pst.check_monotonicity()
+
+    def test_keeps_symbol_layer(self):
+        pst = PrunedSuffixTree.from_strings(["abc"], max_depth=3)
+        naive_prune_pst(pst, 1000)
+        for symbol in "abc":
+            assert pst.lookup(symbol) is not None

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.datasets import bibliography_tree
+from repro.xmltree import serialize
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "bib.xml"
+    path.write_text(serialize(bibliography_tree().tree), encoding="utf-8")
+    return str(path)
+
+
+class TestCli:
+    def test_summarize_then_estimate(self, xml_file, tmp_path, capsys):
+        synopsis_path = str(tmp_path / "syn.json")
+        assert main(["summarize", xml_file, "-o", synopsis_path]) == 0
+        summary_output = capsys.readouterr().out
+        assert "clusters" in summary_output
+
+        assert main(["estimate", synopsis_path, "//paper"]) == 0
+        estimate = float(capsys.readouterr().out.strip())
+        assert estimate == pytest.approx(2.0)
+
+    def test_evaluate(self, xml_file, capsys):
+        assert main(["evaluate", xml_file, "//paper[./year > 2000]"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_estimate_with_predicates(self, xml_file, tmp_path, capsys):
+        synopsis_path = str(tmp_path / "syn.json")
+        main(["summarize", xml_file, "-o", synopsis_path,
+              "--structural-budget", "100000", "--value-budget", "100000"])
+        capsys.readouterr()
+        assert main(["estimate", synopsis_path, "//paper/year[. >= 2001]"]) == 0
+        estimate = float(capsys.readouterr().out.strip())
+        assert estimate == pytest.approx(1.0, abs=0.5)
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,193 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    IMDB_VALUE_PATHS,
+    XMARK_VALUE_PATHS,
+    ZipfTextGenerator,
+    bibliography_tree,
+    generate_imdb,
+    generate_xmark,
+)
+from repro.xmltree.paths import matches_any
+from repro.xmltree.stats import collect_statistics
+from repro.xmltree.types import ValueType
+
+
+class TestBibliography:
+    def test_figure1_shape(self, bibliography):
+        tree = bibliography.tree
+        assert tree.root.label == "dblp"
+        assert len(tree) == 17
+        stats = collect_statistics(tree)
+        assert stats.label_counts["author"] == 2
+        assert stats.label_counts["paper"] == 2
+        assert stats.label_counts["book"] == 1
+
+    def test_value_types(self, bibliography):
+        stats = collect_statistics(bibliography.tree)
+        assert stats.type_counts[ValueType.NUMERIC] == 3
+        assert stats.type_counts[ValueType.STRING] == 5
+        assert stats.type_counts[ValueType.TEXT] == 3
+
+    def test_valid(self, bibliography):
+        bibliography.tree.validate()
+
+
+class TestIMDB:
+    def test_deterministic(self):
+        first = generate_imdb(scale=0.02, seed=1)
+        second = generate_imdb(scale=0.02, seed=1)
+        assert len(first.tree) == len(second.tree)
+        first_titles = sorted(
+            e.value for e in first.tree if e.label_path() == ("imdb", "movie", "title")
+        )
+        second_titles = sorted(
+            e.value for e in second.tree if e.label_path() == ("imdb", "movie", "title")
+        )
+        assert first_titles == second_titles
+
+    def test_seed_changes_output(self):
+        assert len(generate_imdb(0.02, 1).tree) != len(generate_imdb(0.02, 2).tree)
+
+    def test_scale_grows_linearly(self):
+        small = generate_imdb(scale=0.05)
+        large = generate_imdb(scale=0.1)
+        ratio = len(large.tree) / len(small.tree)
+        assert 1.5 < ratio < 2.5
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            generate_imdb(scale=0)
+
+    def test_all_value_paths_populated(self, imdb_small):
+        paths = {e.label_path() for e in imdb_small.tree if e.value is not None}
+        for wanted in IMDB_VALUE_PATHS:
+            assert any(matches_any(path, [wanted]) for path in paths), wanted
+
+    def test_value_types_on_paths(self, imdb_small):
+        for element in imdb_small.tree:
+            path = element.label_path()
+            if path == ("imdb", "movie", "year"):
+                assert element.value_type is ValueType.NUMERIC
+            elif path == ("imdb", "movie", "plot"):
+                assert element.value_type is ValueType.TEXT
+            elif path == ("imdb", "movie", "title"):
+                assert element.value_type is ValueType.STRING
+
+    def test_era_correlations(self):
+        """Classic movies rarely have plots and have smaller casts."""
+        dataset = generate_imdb(scale=0.3, seed=5)
+        classic_plots = modern_plots = classic_total = modern_total = 0
+        for movie in dataset.tree.root.children_with_label("movie"):
+            year = next(c.value for c in movie.children if c.label == "year")
+            has_plot = any(c.label == "plot" for c in movie.children)
+            if year < 1980:
+                classic_total += 1
+                classic_plots += has_plot
+            else:
+                modern_total += 1
+                modern_plots += has_plot
+        assert classic_plots / classic_total < modern_plots / modern_total
+
+    def test_title_word_pools_disjoint_by_context(self, imdb_small):
+        movie_titles = " ".join(
+            e.value for e in imdb_small.tree
+            if e.label_path() == ("imdb", "movie", "title")
+        )
+        show_titles = " ".join(
+            e.value for e in imdb_small.tree
+            if e.label_path() == ("imdb", "show", "title")
+        )
+        assert "Hospital" not in movie_titles or "Hospital" in show_titles
+        assert any(word in show_titles for word in ("Family", "Street", "Files",
+                                                    "Office", "Detective", "The"))
+
+
+class TestXMark:
+    def test_deterministic(self):
+        assert len(generate_xmark(0.02, 3).tree) == len(generate_xmark(0.02, 3).tree)
+
+    def test_region_structure(self, xmark_small):
+        regions = xmark_small.tree.root.children_with_label("regions")[0]
+        names = {child.label for child in regions.children}
+        assert names == {"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+    def test_region_price_correlation(self):
+        dataset = generate_xmark(scale=0.3, seed=7)
+        regions = dataset.tree.root.children_with_label("regions")[0]
+
+        def average_price(region_label):
+            region = regions.children_with_label(region_label)[0]
+            prices = [
+                next(c.value for c in item.children if c.label == "price")
+                for item in region.children_with_label("item")
+            ]
+            return sum(prices) / len(prices)
+
+        assert average_price("europe") > average_price("africa")
+
+    def test_wildcard_value_paths_cover_items(self, xmark_small):
+        item_price_paths = {
+            e.label_path()
+            for e in xmark_small.tree
+            if e.label == "price" and e.label_path()[1] == "regions"
+        }
+        for path in item_price_paths:
+            assert matches_any(path, XMARK_VALUE_PATHS)
+
+    def test_open_auction_invariant(self, xmark_small):
+        """current = initial + sum of bidder increases."""
+        auctions = xmark_small.tree.root.children_with_label("open_auctions")[0]
+        for auction in auctions.children_with_label("open_auction"):
+            initial = next(c.value for c in auction.children if c.label == "initial")
+            current = next(c.value for c in auction.children if c.label == "current")
+            increases = [
+                next(g.value for g in bidder.children if g.label == "increase")
+                for bidder in auction.children_with_label("bidder")
+            ]
+            assert current == initial + sum(increases)
+
+
+class TestZipfText:
+    def test_head_terms_more_frequent(self):
+        import random
+
+        generator = ZipfTextGenerator(vocabulary_size=200, exponent=1.2)
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(2000):
+            term = generator.sample_term(rng)
+            counts[term] = counts.get(term, 0) + 1
+        head = generator.vocabulary[0]
+        tail = generator.vocabulary[-1]
+        assert counts.get(head, 0) > counts.get(tail, 0)
+
+    def test_sample_terms_size(self):
+        import random
+
+        generator = ZipfTextGenerator(vocabulary_size=500)
+        terms = generator.sample_terms(random.Random(1), 10)
+        assert 1 <= len(terms) <= 40
+
+    def test_vocabulary_deterministic(self):
+        a = ZipfTextGenerator(vocabulary_size=100)
+        b = ZipfTextGenerator(vocabulary_size=100)
+        assert a.vocabulary == b.vocabulary
+
+    def test_frequent_and_rare_helpers(self):
+        generator = ZipfTextGenerator(vocabulary_size=100)
+        assert generator.frequent_terms(3) == generator.vocabulary[:3]
+        assert generator.rare_terms(3) == generator.vocabulary[-3:]
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfTextGenerator(vocabulary=[])
+
+    def test_mean_terms_validation(self):
+        import random
+
+        generator = ZipfTextGenerator(vocabulary_size=50)
+        with pytest.raises(ValueError):
+            generator.sample_terms(random.Random(0), 0)

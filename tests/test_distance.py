@@ -1,0 +1,135 @@
+"""Unit tests for the localized Δ(S, S′) clustering-error metric."""
+
+import pytest
+
+from repro.core.distance import (
+    atomic_predicates_for,
+    compression_delta,
+    merge_delta,
+    node_selectivity,
+)
+from repro.core.synopsis import XClusterSynopsis
+from repro.query.predicates import RangePredicate, TruePredicate
+from repro.values.summary import SummaryConfig, build_summary
+from repro.xmltree.types import ValueType
+
+
+def make_pair(u_values, v_values, u_children=(2.0,), v_children=(2.0,)):
+    """Two numeric-leaf clusters under one root, with given child counts."""
+    config = SummaryConfig()
+    synopsis = XClusterSynopsis()
+    root = synopsis.add_node("r", ValueType.NULL, 1)
+    synopsis.set_root(root)
+    u = synopsis.add_node(
+        "y", ValueType.NUMERIC, len(u_values),
+        build_summary(ValueType.NUMERIC, u_values, config),
+    )
+    v = synopsis.add_node(
+        "y", ValueType.NUMERIC, len(v_values),
+        build_summary(ValueType.NUMERIC, v_values, config),
+    )
+    synopsis.add_edge(root, u, 1.0)
+    synopsis.add_edge(root, v, 1.0)
+    for index, count in enumerate(u_children):
+        child = synopsis.add_node(f"c{index}", ValueType.NULL, 1)
+        synopsis.add_edge(u, child, count)
+    for index, count in enumerate(v_children):
+        child = synopsis.add_node(f"d{index}", ValueType.NULL, 1)
+        synopsis.add_edge(v, child, count)
+    return synopsis, u, v
+
+
+class TestNodeSelectivity:
+    def test_true_predicate(self):
+        synopsis, u, v = make_pair([1, 2], [3, 4])
+        assert node_selectivity(u, TruePredicate()) == 1.0
+
+    def test_value_predicate(self):
+        synopsis, u, v = make_pair([1, 2, 3, 4], [9])
+        assert node_selectivity(u, RangePredicate(1, 2)) == pytest.approx(0.5)
+
+    def test_wrong_type_is_zero(self):
+        synopsis, u, v = make_pair([1], [2])
+        from repro.query.predicates import SubstringPredicate
+
+        assert node_selectivity(u, SubstringPredicate("x")) == 0.0
+
+    def test_unsummarized_defaults_to_one(self):
+        synopsis = XClusterSynopsis()
+        node = synopsis.add_node("y", ValueType.NUMERIC, 3, None)
+        assert node_selectivity(node, RangePredicate(0, 1)) == 1.0
+
+    def test_cache_used(self):
+        synopsis, u, v = make_pair([1, 2], [3])
+        cache = {}
+        first = node_selectivity(u, RangePredicate(1, 1), cache)
+        assert cache
+        assert node_selectivity(u, RangePredicate(1, 1), cache) == first
+
+
+class TestAtomicPredicates:
+    def test_always_includes_trivial(self):
+        synopsis, u, v = make_pair([1], [2])
+        predicates = atomic_predicates_for(u, 8)
+        assert TruePredicate() in predicates
+        assert len(predicates) > 1
+
+    def test_unsummarized_node_only_trivial(self):
+        synopsis = XClusterSynopsis()
+        node = synopsis.add_node("x", ValueType.NULL, 1)
+        assert atomic_predicates_for(node, 8) == [TruePredicate()]
+
+
+class TestMergeDelta:
+    def test_identical_clusters_zero_delta(self):
+        synopsis, u, v = make_pair([1, 2, 3], [1, 2, 3])
+        # Same values, same child counts: merging is free except for the
+        # disjoint child sets (c0 vs d0), which do differ structurally.
+        synopsis2, u2, v2 = make_pair([1, 2, 3], [1, 2, 3], (2.0,), (2.0,))
+        delta = merge_delta(synopsis2, u2, v2)
+        assert delta > 0.0  # children differ (different child nodes)
+
+    def test_leaf_merge_with_identical_values_is_free(self):
+        synopsis, u, v = make_pair([1, 2, 3], [1, 2, 3], (), ())
+        assert merge_delta(synopsis, u, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_leaf_merge_with_different_values_costs(self):
+        synopsis, u, v = make_pair([1, 1, 1], [100, 100, 100], (), ())
+        assert merge_delta(synopsis, u, v) > 0.1
+
+    def test_structural_difference_costs(self):
+        synopsis, u, v = make_pair([1], [1], (10.0,), (1.0,))
+        low_synopsis, lu, lv = make_pair([1], [1], (2.0,), (1.0,))
+        assert merge_delta(synopsis, u, v) > merge_delta(low_synopsis, lu, lv)
+
+    def test_weighted_by_extent_size(self):
+        big, bu, bv = make_pair([1] * 50, [9] * 50, (), ())
+        small, su, sv = make_pair([1] * 2, [9] * 2, (), ())
+        assert merge_delta(big, bu, bv) > merge_delta(small, su, sv)
+
+
+class TestCompressionDelta:
+    def test_zero_for_identical_summary(self):
+        synopsis, u, v = make_pair([1, 2, 3, 4], [5])
+        delta = compression_delta(u, u.vsumm)
+        assert delta == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_coarser_summary(self):
+        synopsis, u, v = make_pair([1, 5, 9, 13], [5])
+        compressed = u.vsumm.compress(2)
+        assert compression_delta(u, compressed) > 0.0
+
+    def test_requires_summary(self):
+        synopsis = XClusterSynopsis()
+        node = synopsis.add_node("x", ValueType.NULL, 1)
+        with pytest.raises(ValueError):
+            compression_delta(node, None)
+
+    def test_scales_with_child_counts(self):
+        many, u_many, _ = make_pair([1, 5, 9, 13], [5], (10.0,), ())
+        few, u_few, _ = make_pair([1, 5, 9, 13], [5], (1.0,), ())
+        compressed_many = u_many.vsumm.compress(2)
+        compressed_few = u_few.vsumm.compress(2)
+        assert compression_delta(u_many, compressed_many) > compression_delta(
+            u_few, compressed_few
+        )

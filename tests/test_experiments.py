@@ -1,0 +1,121 @@
+"""End-to-end tests of the experiment harness (tiny scale)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    figure8_series,
+    figure9_rows,
+    format_series,
+    format_table,
+    negative_workload_estimates,
+    table1_rows,
+    table2_rows,
+)
+from repro.workload.generator import QueryClass
+
+
+@pytest.fixture(scope="module")
+def context():
+    config = ExperimentConfig(
+        scale=0.04,
+        queries_per_class=4,
+        structural_fractions=(0.0, 0.5, 1.0),
+        pool_max=400,
+        pool_min=200,
+    )
+    return ExperimentContext(config)
+
+
+class TestTables:
+    def test_table1(self, context):
+        rows = table1_rows(context)
+        assert [row.dataset for row in rows] == ["imdb", "xmark"]
+        for row in rows:
+            assert row.element_count > 100
+            assert row.file_size_mb > 0
+            assert 0 < row.value_nodes <= row.total_nodes
+            assert row.reference_size_kb > 0
+
+    def test_table2(self, context):
+        rows = table2_rows(context)
+        for row in rows:
+            assert row.avg_result_struct > 0
+            assert row.avg_result_pred > 0
+
+
+class TestFigure8:
+    def test_sweep_points(self, context):
+        result = figure8_series(context, "imdb")
+        assert len(result.points) == 3
+        overall = result.series(None)
+        assert all(not math.isnan(v) for v in overall)
+        assert all(v >= 0 for v in overall)
+
+    def test_series_table_has_five_series(self, context):
+        result = figure8_series(context, "imdb")
+        table = result.as_series_table()
+        assert set(table) == {"Text", "String", "Numeric", "Struct", "Overall"}
+
+    def test_total_kb_grows_with_fraction(self, context):
+        result = figure8_series(context, "xmark")
+        assert result.total_kb[-1] >= result.total_kb[1]
+
+
+class TestFigure9:
+    def test_rows(self, context):
+        imdb = figure8_series(context, "imdb")
+        xmark = figure8_series(context, "xmark")
+        rows = figure9_rows(imdb, xmark)
+        assert [row.query_class for row in rows] == [
+            QueryClass.NUMERIC,
+            QueryClass.STRING,
+            QueryClass.TEXT,
+        ]
+        for row in rows:
+            assert row.imdb >= 0.0
+            assert row.xmark >= 0.0
+
+
+class TestNegative:
+    def test_near_zero_estimates(self, context):
+        averages = negative_workload_estimates(context, "imdb", fractions=(1.0,))
+        assert len(averages) == 1
+        assert averages[0] < 2.0
+
+
+class TestContextCaching:
+    def test_dataset_cached(self, context):
+        assert context.dataset("imdb") is context.dataset("imdb")
+
+    def test_reference_cached_and_copy_fresh(self, context):
+        reference = context.reference("imdb")
+        assert context.reference("imdb") is reference
+        fresh = context.fresh_reference("imdb")
+        assert fresh is not reference
+        assert len(fresh) == len(reference)
+
+    def test_unknown_dataset(self, context):
+        with pytest.raises(KeyError):
+            context.dataset("nope")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series_percent(self):
+        text = format_series(
+            "T", "kb", [1.0, 2.0], [[0.5, 0.25]], ["Overall"], percent=True
+        )
+        assert "50.0" in text and "25.0" in text
+
+    def test_format_series_nan(self):
+        text = format_series("T", "kb", [1.0], [[float("nan")]], ["S"])
+        assert "-" in text

@@ -1,0 +1,82 @@
+"""Extra coverage for experiment figures, Figure 8 accessors, and sizing."""
+
+import pytest
+
+from repro.core.sizing import EDGE_BYTES, NODE_BYTES, structural_size_bytes
+from repro.core.synopsis import XClusterSynopsis
+from repro.experiments.figures import FIGURE8_SERIES, Figure8Result
+from repro.experiments.harness import SweepPoint
+from repro.workload.generator import QueryClass
+from repro.workload.metrics import ErrorReport
+from repro.xmltree.types import ValueType
+
+
+def make_point(fraction, overall, by_class=None, low_abs=None):
+    report = ErrorReport(
+        overall=overall,
+        by_class=by_class or {},
+        low_count_absolute=low_abs or {},
+        low_count_true_mean={},
+        bound=2.0,
+        query_count=10,
+    )
+    return SweepPoint(
+        structural_fraction=fraction,
+        structural_bytes=int(1000 * (1 + fraction)),
+        value_bytes=5000,
+        total_bytes=int(1000 * (1 + fraction)) + 5000,
+        report=report,
+    )
+
+
+class TestFigure8Result:
+    def test_series_overall(self):
+        result = Figure8Result(
+            "imdb", [make_point(0.0, 0.5), make_point(1.0, 0.1)]
+        )
+        assert result.series(None) == [0.5, 0.1]
+
+    def test_series_per_class_with_missing(self):
+        by_class = {QueryClass.TEXT: 0.3}
+        result = Figure8Result("imdb", [make_point(0.0, 0.5, by_class)])
+        assert result.series(QueryClass.TEXT) == [0.3]
+        assert result.series(QueryClass.STRING)[0] != result.series(
+            QueryClass.STRING
+        )[0]  # NaN
+
+    def test_total_kb(self):
+        result = Figure8Result("x", [make_point(0.0, 0.1)])
+        assert result.total_kb[0] == pytest.approx(6000 / 1024)
+
+    def test_series_table_keys_match_legend(self):
+        result = Figure8Result("x", [make_point(0.0, 0.1)])
+        assert list(result.as_series_table()) == [name for name, _ in FIGURE8_SERIES]
+
+
+class TestSizingConstants:
+    def test_empty_synopsis(self):
+        synopsis = XClusterSynopsis()
+        assert structural_size_bytes(synopsis) == 0
+
+    def test_single_node(self):
+        synopsis = XClusterSynopsis()
+        synopsis.add_node("a", ValueType.NULL, 1)
+        assert structural_size_bytes(synopsis) == NODE_BYTES
+
+    def test_node_plus_edge(self):
+        synopsis = XClusterSynopsis()
+        parent = synopsis.add_node("a", ValueType.NULL, 1)
+        child = synopsis.add_node("b", ValueType.NULL, 2)
+        synopsis.add_edge(parent, child, 2.0)
+        assert structural_size_bytes(synopsis) == 2 * NODE_BYTES + EDGE_BYTES
+
+
+class TestErrorReportAccessors:
+    def test_class_error_missing_is_nan(self):
+        report = ErrorReport(0.1, {}, {}, {}, 1.0, 5)
+        value = report.class_error(QueryClass.TEXT)
+        assert value != value  # NaN
+
+    def test_class_error_present(self):
+        report = ErrorReport(0.1, {QueryClass.TEXT: 0.4}, {}, {}, 1.0, 5)
+        assert report.class_error(QueryClass.TEXT) == 0.4

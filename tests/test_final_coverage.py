@@ -1,0 +1,130 @@
+"""Final coverage batch: rendering details, dataset container, mutations."""
+
+import pytest
+
+from repro.datasets import Dataset, bibliography_tree
+from repro.query import parse_twig
+from repro.query.ast import _render_predicate
+from repro.query.predicates import (
+    AtLeastKPredicate,
+    KeywordPredicate,
+    RangePredicate,
+    SubstringPredicate,
+    TruePredicate,
+)
+from repro.workload.generator import QueryClass, Workload, WorkloadQuery
+from repro.workload.negative import (
+    _copy_twig,
+    _negate_predicates,
+    _negate_structure,
+)
+
+
+class TestPredicateRendering:
+    def test_bounded_range(self):
+        assert "in [1, 5]" in _render_predicate(RangePredicate(1, 5))
+
+    def test_lower_bounded_range(self):
+        assert ">= 3" in _render_predicate(RangePredicate(low=3))
+
+    def test_upper_bounded_range(self):
+        assert "<= 9" in _render_predicate(RangePredicate(high=9))
+
+    def test_substring(self):
+        assert "contains(abc)" in _render_predicate(SubstringPredicate("abc"))
+
+    def test_keywords_sorted(self):
+        text = _render_predicate(KeywordPredicate(["b", "a"]))
+        assert "ftcontains(a, b)" in text
+
+    def test_atleast(self):
+        text = _render_predicate(AtLeastKPredicate(["b", "a"], 1))
+        assert "ftatleast(1, a, b)" in text
+
+    def test_trivial(self):
+        assert _render_predicate(TruePredicate()) == ""
+
+
+class TestNegativeMutations:
+    def test_copy_twig_is_deep(self):
+        original = parse_twig("//a[./b >= 2]/c")
+        duplicate = _copy_twig(original)
+        duplicate.nodes()[1].children.clear()
+        assert len(original.nodes()) == 4
+
+    def test_negate_range(self):
+        import random
+
+        twig = parse_twig("//a[./b >= 2]")
+        assert _negate_predicates(twig, domain_hi=100, rng=random.Random(0))
+        predicate = next(n.predicate for n in twig.nodes() if n.has_value_predicate)
+        assert isinstance(predicate, RangePredicate)
+        assert predicate.low > 100
+
+    def test_negate_substring(self):
+        import random
+
+        twig = parse_twig("//a[./b contains(xy)]")
+        assert _negate_predicates(twig, 0, random.Random(0))
+        predicate = next(n.predicate for n in twig.nodes() if n.has_value_predicate)
+        assert "§" in predicate.needle
+
+    def test_negate_keywords(self):
+        import random
+
+        twig = parse_twig("//a[./b ftcontains(t)]")
+        assert _negate_predicates(twig, 0, random.Random(0))
+        predicate = next(n.predicate for n in twig.nodes() if n.has_value_predicate)
+        assert "zzzzunusedterm" in predicate.terms
+
+    def test_negate_structure_adds_impossible_branch(self):
+        import random
+
+        twig = parse_twig("//a/b")
+        assert _negate_structure(twig, random.Random(0))
+        labels = {
+            node.edge.target_label for node in twig.nodes() if node.edge is not None
+        }
+        assert "no_such_element" in labels
+
+    def test_no_predicates_to_negate(self):
+        import random
+
+        twig = parse_twig("//a/b")
+        assert not _negate_predicates(twig, 0, random.Random(0))
+
+
+class TestDatasetContainer:
+    def test_element_count(self):
+        dataset = bibliography_tree()
+        assert dataset.element_count == len(dataset.tree) == 17
+
+    def test_fields(self):
+        dataset = bibliography_tree()
+        assert isinstance(dataset, Dataset)
+        assert dataset.name == "bibliography"
+        assert len(dataset.value_paths) == 8
+
+
+class TestWorkloadContainer:
+    def make(self):
+        queries = [
+            WorkloadQuery(parse_twig("//a"), 5, QueryClass.STRUCT),
+            WorkloadQuery(parse_twig("//b[. >= 1]"), 3, QueryClass.NUMERIC),
+            WorkloadQuery(parse_twig("//c[. contains(x)]"), 1, QueryClass.STRING),
+        ]
+        return Workload("test", queries)
+
+    def test_len(self):
+        assert len(self.make()) == 3
+
+    def test_partitions(self):
+        workload = self.make()
+        assert len(workload.structural_queries) == 1
+        assert len(workload.predicate_queries) == 2
+
+    def test_average_result_size(self):
+        workload = self.make()
+        assert workload.average_result_size() == pytest.approx(3.0)
+        assert workload.average_result_size(workload.predicate_queries) == 2.0
+        assert Workload("empty").average_result_size() == 0.0

@@ -1,0 +1,167 @@
+"""Unit and property tests for NUMERIC histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.values import Histogram, HistogramBucket
+
+
+class TestBucket:
+    def test_width(self):
+        assert HistogramBucket(2, 5, 1.0).width == 4
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            HistogramBucket(5, 2, 1.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            HistogramBucket(0, 1, -1.0)
+
+    def test_overlap_fraction(self):
+        bucket = HistogramBucket(0, 9, 10.0)
+        assert bucket.overlap_fraction(0, 9) == 1.0
+        assert bucket.overlap_fraction(0, 4) == pytest.approx(0.5)
+        assert bucket.overlap_fraction(20, 30) == 0.0
+
+
+class TestConstruction:
+    def test_few_distinct_values_get_singleton_buckets(self):
+        histogram = Histogram.from_values([1, 1, 5, 9], max_buckets=10)
+        assert histogram.bucket_count == 3
+        assert histogram.estimate_range(1, 1) == pytest.approx(2.0)
+
+    def test_equi_depth_buckets(self):
+        values = list(range(100))
+        histogram = Histogram.from_values(values, max_buckets=4)
+        assert histogram.bucket_count == 4
+        counts = [bucket.count for bucket in histogram.buckets]
+        assert max(counts) - min(counts) <= max(counts) * 0.5
+
+    def test_total_preserved(self):
+        values = [1, 2, 2, 3, 7, 7, 7, 100]
+        histogram = Histogram.from_values(values, max_buckets=3)
+        assert histogram.total == pytest.approx(len(values))
+
+    def test_empty(self):
+        histogram = Histogram.from_values([])
+        assert histogram.total == 0
+        assert histogram.selectivity(0, 10) == 0.0
+
+    def test_disjoint_sorted_required(self):
+        with pytest.raises(ValueError):
+            Histogram([HistogramBucket(0, 5, 1), HistogramBucket(3, 8, 1)])
+
+    def test_max_buckets_validation(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1], max_buckets=0)
+
+
+class TestEstimation:
+    def test_exact_on_singletons(self):
+        histogram = Histogram.from_values([1, 2, 2, 9], max_buckets=16)
+        assert histogram.estimate_range(2, 2) == pytest.approx(2.0)
+        assert histogram.selectivity(1, 2) == pytest.approx(0.75)
+
+    def test_uniform_interpolation(self):
+        histogram = Histogram([HistogramBucket(0, 9, 10.0)])
+        assert histogram.estimate_range(0, 4) == pytest.approx(5.0)
+
+    def test_empty_range(self):
+        histogram = Histogram.from_values([5])
+        assert histogram.estimate_range(9, 3) == 0.0
+
+    def test_out_of_domain(self):
+        histogram = Histogram.from_values([5, 6])
+        assert histogram.estimate_range(100, 200) == 0.0
+
+
+class TestFusion:
+    def test_fuse_preserves_total(self):
+        left = Histogram.from_values([1, 2, 3], max_buckets=2)
+        right = Histogram.from_values([2, 3, 4, 10], max_buckets=2)
+        fused = left.fuse(right)
+        assert fused.total == pytest.approx(7.0)
+
+    def test_fuse_with_empty(self):
+        left = Histogram.from_values([1, 2])
+        empty = Histogram(())
+        assert left.fuse(empty) is left
+        assert empty.fuse(left) is left
+
+    def test_fuse_prefix_estimates_additive(self):
+        """Alignment fusion preserves prefix-range estimates at the
+        boundary cuts of either input."""
+        left = Histogram.from_values([1, 1, 2, 5, 6], max_buckets=3)
+        right = Histogram.from_values([2, 3, 3, 9], max_buckets=3)
+        fused = left.fuse(right)
+        for edge in left.boundaries() + right.boundaries():
+            expected = left.estimate_range(0, edge) + right.estimate_range(0, edge)
+            assert fused.estimate_range(0, edge) == pytest.approx(expected, rel=1e-9)
+
+
+class TestCompression:
+    def test_compress_reduces_buckets(self):
+        histogram = Histogram.from_values(list(range(50)), max_buckets=8)
+        compressed = histogram.compress(3)
+        assert compressed.bucket_count == 5
+        assert compressed.total == pytest.approx(histogram.total)
+
+    def test_compress_stops_at_one_bucket(self):
+        histogram = Histogram.from_values([1, 5], max_buckets=2)
+        compressed = histogram.compress(10)
+        assert compressed.bucket_count == 1
+
+    def test_merge_adjacent_bounds(self):
+        histogram = Histogram.from_values([1, 5], max_buckets=2)
+        with pytest.raises(IndexError):
+            histogram.merge_adjacent(5)
+
+    def test_size_bytes(self):
+        histogram = Histogram.from_values([1, 5, 9], max_buckets=3)
+        assert histogram.size_bytes() == 36
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=150))
+def test_total_always_preserved(values):
+    histogram = Histogram.from_values(values, max_buckets=8)
+    assert histogram.total == pytest.approx(len(values))
+    full_lo, full_hi = histogram.domain
+    assert histogram.estimate_range(full_lo, full_hi) == pytest.approx(len(values))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_selectivity_bounded(values, low, high):
+    histogram = Histogram.from_values(values, max_buckets=6)
+    if low > high:
+        low, high = high, low
+    selectivity = histogram.selectivity(low, high)
+    assert 0.0 <= selectivity <= 1.0 + 1e-9
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=80), min_size=1, max_size=50),
+    st.lists(st.integers(min_value=0, max_value=80), min_size=1, max_size=50),
+)
+def test_fusion_commutes_on_totals_and_prefixes(left_values, right_values):
+    left = Histogram.from_values(left_values, max_buckets=5)
+    right = Histogram.from_values(right_values, max_buckets=5)
+    ab = left.fuse(right)
+    ba = right.fuse(left)
+    assert ab.total == pytest.approx(ba.total)
+    for edge in range(0, 81, 7):
+        assert ab.estimate_range(0, edge) == pytest.approx(
+            ba.estimate_range(0, edge), rel=1e-9, abs=1e-9
+        )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=2, max_size=80))
+def test_compression_preserves_total(values):
+    histogram = Histogram.from_values(values, max_buckets=10)
+    compressed = histogram.compress(4)
+    assert compressed.total == pytest.approx(histogram.total)
+    assert compressed.domain == histogram.domain

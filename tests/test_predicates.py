@@ -1,0 +1,113 @@
+"""Unit tests for twig value predicates."""
+
+import pytest
+
+from repro.query.predicates import (
+    KeywordPredicate,
+    RangePredicate,
+    SubstringPredicate,
+    TruePredicate,
+)
+from repro.xmltree.types import ValueType
+
+
+class TestTruePredicate:
+    def test_matches_everything(self):
+        predicate = TruePredicate()
+        assert predicate.matches(None)
+        assert predicate.matches(5)
+        assert predicate.matches("x")
+
+    def test_applicable_to_all_types(self):
+        predicate = TruePredicate()
+        for value_type in ValueType:
+            assert predicate.applicable_to(value_type)
+
+    def test_equality_and_hash(self):
+        assert TruePredicate() == TruePredicate()
+        assert hash(TruePredicate()) == hash(TruePredicate())
+
+
+class TestRangePredicate:
+    def test_inclusive_bounds(self):
+        predicate = RangePredicate(2, 5)
+        assert predicate.matches(2)
+        assert predicate.matches(5)
+        assert not predicate.matches(1)
+        assert not predicate.matches(6)
+
+    def test_open_low(self):
+        predicate = RangePredicate(high=10)
+        assert predicate.matches(-(10**9))
+        assert not predicate.matches(11)
+
+    def test_open_high(self):
+        predicate = RangePredicate(low=10)
+        assert predicate.matches(10**9)
+        assert not predicate.matches(9)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangePredicate(5, 2)
+
+    def test_wrong_type_value(self):
+        assert not RangePredicate(0, 10).matches("5")
+        assert not RangePredicate(0, 10).matches(None)
+
+    def test_equality_and_hash(self):
+        assert RangePredicate(1, 2) == RangePredicate(1, 2)
+        assert RangePredicate(1, 2) != RangePredicate(1, 3)
+        assert hash(RangePredicate(1, 2)) == hash(RangePredicate(1, 2))
+
+    def test_applicable_to(self):
+        assert RangePredicate(0, 1).applicable_to(ValueType.NUMERIC)
+        assert not RangePredicate(0, 1).applicable_to(ValueType.STRING)
+
+
+class TestSubstringPredicate:
+    def test_contains(self):
+        predicate = SubstringPredicate("tar")
+        assert predicate.matches("star")
+        assert not predicate.matches("trek")
+
+    def test_case_sensitive(self):
+        assert not SubstringPredicate("Star").matches("star")
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(ValueError):
+            SubstringPredicate("")
+
+    def test_wrong_type_value(self):
+        assert not SubstringPredicate("a").matches(5)
+
+    def test_equality_and_hash(self):
+        assert SubstringPredicate("x") == SubstringPredicate("x")
+        assert hash(SubstringPredicate("x")) == hash(SubstringPredicate("x"))
+        assert SubstringPredicate("x") != SubstringPredicate("y")
+
+
+class TestKeywordPredicate:
+    def test_all_terms_required(self):
+        predicate = KeywordPredicate(["xml", "tree"])
+        assert predicate.matches(frozenset({"xml", "tree", "extra"}))
+        assert not predicate.matches(frozenset({"xml"}))
+
+    def test_terms_lowercased(self):
+        predicate = KeywordPredicate(["XML"])
+        assert predicate.matches(frozenset({"xml"}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordPredicate([])
+        with pytest.raises(ValueError):
+            KeywordPredicate([""])
+
+    def test_wrong_type_value(self):
+        assert not KeywordPredicate(["a"]).matches("a string with a")
+
+    def test_sorted_terms(self):
+        assert KeywordPredicate(["b", "a"]).sorted_terms() == ("a", "b")
+
+    def test_equality_and_hash(self):
+        assert KeywordPredicate(["a", "b"]) == KeywordPredicate(["b", "a"])
+        assert hash(KeywordPredicate(["a"])) == hash(KeywordPredicate(["A"]))

@@ -1,0 +1,114 @@
+"""Unit tests for synopsis persistence (save/load round-trips)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core import (
+    build_xcluster,
+    load_synopsis,
+    save_synopsis,
+    structural_size_bytes,
+    synopsis_from_dict,
+    synopsis_to_dict,
+    total_size_bytes,
+    value_size_bytes,
+)
+from repro.core.builder import BuildConfig
+from repro.core.estimator import XClusterEstimator
+from repro.core.serialization import SynopsisFormatError
+from repro.query import parse_twig
+
+
+@pytest.fixture(scope="module")
+def compressed(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    return build_xcluster(
+        imdb_small.tree,
+        structural_budget=3000,
+        value_budget=20000,
+        value_paths=imdb_small.value_paths,
+        config=BuildConfig(pool_max=500, pool_min=250),
+    )
+
+
+PROBES = (
+    "//movie/title",
+    "//movie[./year >= 1990]/cast/actor",
+    "//movie/title[. contains(St)]",
+    "//movie/plot[. ftcontains(be)]",
+    "//show/season/episode",
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_sizes(self, compressed):
+        restored = synopsis_from_dict(synopsis_to_dict(compressed))
+        assert len(restored) == len(compressed)
+        assert structural_size_bytes(restored) == structural_size_bytes(compressed)
+        assert value_size_bytes(restored) == value_size_bytes(compressed)
+        assert total_size_bytes(restored) == total_size_bytes(compressed)
+
+    def test_dict_roundtrip_preserves_estimates(self, compressed):
+        restored = synopsis_from_dict(synopsis_to_dict(compressed))
+        original = XClusterEstimator(compressed)
+        reloaded = XClusterEstimator(restored)
+        for text in PROBES:
+            query = parse_twig(text)
+            assert reloaded.estimate(query) == pytest.approx(
+                original.estimate(query), rel=1e-12
+            ), text
+
+    def test_file_roundtrip(self, compressed, tmp_path):
+        path = str(tmp_path / "synopsis.json")
+        save_synopsis(compressed, path)
+        restored = load_synopsis(path)
+        restored.validate()
+        assert len(restored) == len(compressed)
+
+    def test_json_is_plain_data(self, compressed):
+        # The encoded form must survive a JSON round-trip unchanged.
+        encoded = synopsis_to_dict(compressed)
+        rehydrated = json.loads(json.dumps(encoded))
+        restored = synopsis_from_dict(rehydrated)
+        assert len(restored) == len(compressed)
+
+    def test_reference_synopsis_roundtrip(self, bibliography_reference):
+        restored = synopsis_from_dict(synopsis_to_dict(bibliography_reference))
+        assert total_size_bytes(restored) == total_size_bytes(bibliography_reference)
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, compressed):
+        data = synopsis_to_dict(compressed)
+        data["format"] = 999
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)
+
+    def test_dangling_edge_rejected(self, compressed):
+        data = synopsis_to_dict(compressed)
+        data["nodes"][0]["children"].append([10**9, 1.0])
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)
+
+    def test_duplicate_node_rejected(self, compressed):
+        data = synopsis_to_dict(compressed)
+        data["nodes"].append(copy.deepcopy(data["nodes"][0]))
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)
+
+    def test_missing_root_rejected(self, compressed):
+        data = synopsis_to_dict(compressed)
+        data["root"] = 10**9
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)
+
+    def test_unknown_summary_kind_rejected(self, compressed):
+        data = synopsis_to_dict(compressed)
+        for node in data["nodes"]:
+            if node["vsumm"] is not None:
+                node["vsumm"]["kind"] = "mystery"
+                break
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)

@@ -1,0 +1,147 @@
+"""Tests for the Boolean-model set-similarity predicate (ftatleast)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query import AtLeastKPredicate, parse_twig
+from repro.query.evaluator import evaluate_selectivity
+from repro.query.xpath import XPathSyntaxError
+from repro.values.summary import SummaryConfig, build_summary
+from repro.xmltree import parse_string
+from repro.xmltree.types import ValueType
+
+
+class TestPredicate:
+    def test_threshold_semantics(self):
+        predicate = AtLeastKPredicate(["a", "b", "c"], 2)
+        assert predicate.matches(frozenset({"a", "b"}))
+        assert predicate.matches(frozenset({"a", "b", "c", "x"}))
+        assert not predicate.matches(frozenset({"a"}))
+        assert not predicate.matches(frozenset({"x", "y"}))
+
+    def test_k_equals_m_is_conjunction(self):
+        predicate = AtLeastKPredicate(["a", "b"], 2)
+        assert predicate.matches(frozenset({"a", "b"}))
+        assert not predicate.matches(frozenset({"a"}))
+
+    def test_k_one_is_disjunction(self):
+        predicate = AtLeastKPredicate(["a", "b"], 1)
+        assert predicate.matches(frozenset({"b"}))
+        assert not predicate.matches(frozenset({"c"}))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AtLeastKPredicate([], 1)
+        with pytest.raises(ValueError):
+            AtLeastKPredicate(["a"], 0)
+        with pytest.raises(ValueError):
+            AtLeastKPredicate(["a"], 2)
+
+    def test_wrong_type_value(self):
+        assert not AtLeastKPredicate(["a"], 1).matches("a string")
+
+    def test_equality_and_hash(self):
+        assert AtLeastKPredicate(["a", "b"], 1) == AtLeastKPredicate(["b", "a"], 1)
+        assert AtLeastKPredicate(["a", "b"], 1) != AtLeastKPredicate(["a", "b"], 2)
+        assert hash(AtLeastKPredicate(["a"], 1)) == hash(AtLeastKPredicate(["A"], 1))
+
+
+class TestParsing:
+    def test_parse_and_render(self):
+        twig = parse_twig("//d[. ftatleast(2, alpha, beta, gamma)]")
+        predicate = twig.nodes()[1].predicate
+        assert predicate == AtLeastKPredicate(["alpha", "beta", "gamma"], 2)
+        reparsed = parse_twig(twig.to_xpath())
+        assert reparsed.nodes()[1].predicate == predicate
+
+    def test_parse_errors(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_twig("//d[. ftatleast(2)]")
+        with pytest.raises(XPathSyntaxError):
+            parse_twig("//d[. ftatleast(x, a)]")
+
+    def test_exact_evaluation(self):
+        words_a = " ".join(["alpha beta gamma one two three four five six"])
+        words_b = " ".join(["alpha other words here that make long text ok"])
+        tree = parse_string(f"<r><d>{words_a}</d><d>{words_b}</d></r>")
+        assert evaluate_selectivity(
+            tree, parse_twig("/r/d[. ftatleast(2, alpha, beta, gamma)]")
+        ) == 1
+        assert evaluate_selectivity(
+            tree, parse_twig("/r/d[. ftatleast(1, alpha, beta)]")
+        ) == 2
+
+
+class TestEstimation:
+    def test_poisson_binomial_exact_on_independent_terms(self):
+        # Terms occur independently across texts by construction.
+        texts = [
+            frozenset({"a", "b"}),
+            frozenset({"a"}),
+            frozenset({"c"}),
+            frozenset({"b", "c"}),
+        ]
+        summary = build_summary(ValueType.TEXT, texts, SummaryConfig())
+        predicate = AtLeastKPredicate(["a", "b", "c"], 2)
+        truth = sum(1 for t in texts if len(t & predicate.terms) >= 2) / 4
+        assert summary.selectivity(predicate) == pytest.approx(truth)
+
+    def test_threshold_one_complement_rule(self):
+        texts = [frozenset({"a"}), frozenset({"b"}), frozenset({"c"})]
+        summary = build_summary(ValueType.TEXT, texts, SummaryConfig())
+        predicate = AtLeastKPredicate(["a", "b"], 1)
+        # 1 - (1 - 1/3)(1 - 1/3) under independence.
+        assert summary.selectivity(predicate) == pytest.approx(1 - (2 / 3) ** 2)
+
+    def test_absent_terms_contribute_nothing(self):
+        texts = [frozenset({"a"})] * 4
+        summary = build_summary(ValueType.TEXT, texts, SummaryConfig())
+        assert summary.selectivity(
+            AtLeastKPredicate(["missing1", "missing2"], 1)
+        ) == 0.0
+        assert summary.selectivity(
+            AtLeastKPredicate(["a", "missing"], 1)
+        ) == pytest.approx(1.0)
+
+    def test_monotone_in_threshold(self):
+        texts = [
+            frozenset({"a", "b", "c"}),
+            frozenset({"a", "b"}),
+            frozenset({"a"}),
+            frozenset({"d"}),
+        ]
+        summary = build_summary(ValueType.TEXT, texts, SummaryConfig())
+        terms = ["a", "b", "c"]
+        values = [
+            summary.selectivity(AtLeastKPredicate(terms, k)) for k in (1, 2, 3)
+        ]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_end_to_end_on_reference(self, bibliography, bibliography_reference):
+        from repro.core import estimate_selectivity
+
+        query = parse_twig("//paper/keywords[. ftatleast(1, xml, nosuchterm)]")
+        exact = evaluate_selectivity(bibliography.tree, query)
+        estimate = estimate_selectivity(bibliography_reference, query)
+        assert estimate == pytest.approx(float(exact))
+
+
+@given(
+    st.lists(
+        st.frozensets(st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=4),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40)
+def test_tail_probability_bounds(texts, threshold):
+    """The Poisson-binomial tail is a probability and is monotone in k."""
+    texts = [t if t else frozenset({"z"}) for t in texts]
+    summary = build_summary(ValueType.TEXT, texts, SummaryConfig())
+    terms = ["a", "b", "c"]
+    value = summary.selectivity(AtLeastKPredicate(terms, threshold))
+    assert 0.0 <= value <= 1.0 + 1e-9
+    if threshold < 3:
+        deeper = summary.selectivity(AtLeastKPredicate(terms, threshold + 1))
+        assert deeper <= value + 1e-9

@@ -1,0 +1,147 @@
+"""Unit tests for the uniform value-summary interface."""
+
+import pytest
+
+from repro.query.predicates import (
+    KeywordPredicate,
+    RangePredicate,
+    SubstringPredicate,
+)
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    SummaryConfig,
+    TextSummary,
+    build_summary,
+    fuse_summaries,
+)
+from repro.xmltree.types import ValueType
+
+
+@pytest.fixture
+def config():
+    return SummaryConfig()
+
+
+class TestDispatch:
+    def test_build_numeric(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1, 2, 3], config)
+        assert isinstance(summary, HistogramSummary)
+        assert summary.count == 3
+
+    def test_build_string(self, config):
+        summary = build_summary(ValueType.STRING, ["ab", "cd"], config)
+        assert isinstance(summary, StringSummary)
+        assert summary.count == 2
+
+    def test_build_text(self, config):
+        summary = build_summary(
+            ValueType.TEXT, [frozenset({"a"}), frozenset({"a", "b"})], config
+        )
+        assert isinstance(summary, TextSummary)
+        assert summary.count == 2
+
+    def test_build_null(self, config):
+        assert build_summary(ValueType.NULL, [], config) is None
+
+
+class TestSelectivity:
+    def test_numeric(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1, 2, 3, 10], config)
+        assert summary.selectivity(RangePredicate(1, 3)) == pytest.approx(0.75)
+
+    def test_numeric_rejects_wrong_predicate(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1], config)
+        with pytest.raises(TypeError):
+            summary.selectivity(SubstringPredicate("a"))
+
+    def test_string(self, config):
+        summary = build_summary(ValueType.STRING, ["star", "dust"], config)
+        assert summary.selectivity(SubstringPredicate("star")) == pytest.approx(0.5)
+
+    def test_text(self, config):
+        summary = build_summary(
+            ValueType.TEXT, [frozenset({"a"}), frozenset({"b"})], config
+        )
+        assert summary.selectivity(KeywordPredicate(["a"])) == pytest.approx(0.5)
+
+
+class TestAtomicPredicates:
+    def test_numeric_prefix_ranges(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1, 5, 9], config)
+        predicates = summary.atomic_predicates(8)
+        assert predicates
+        assert all(isinstance(p, RangePredicate) for p in predicates)
+        assert all(p.low == 1 for p in predicates)
+
+    def test_numeric_respects_limit(self, config):
+        summary = build_summary(ValueType.NUMERIC, list(range(200)), config)
+        assert len(summary.atomic_predicates(10)) <= 10
+
+    def test_string_substrings(self, config):
+        summary = build_summary(ValueType.STRING, ["abc", "abd"], config)
+        predicates = summary.atomic_predicates(5)
+        assert len(predicates) == 5
+        assert all(isinstance(p, SubstringPredicate) for p in predicates)
+
+    def test_text_terms(self, config):
+        summary = build_summary(
+            ValueType.TEXT, [frozenset({"a", "b", "c"})], config
+        )
+        predicates = summary.atomic_predicates(2)
+        assert len(predicates) == 2
+        assert all(isinstance(p, KeywordPredicate) for p in predicates)
+
+
+class TestFusionAndCompression:
+    def test_fuse_summaries_none_handling(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1], config)
+        assert fuse_summaries(None, summary) is summary
+        assert fuse_summaries(summary, None) is summary
+        assert fuse_summaries(None, None) is None
+
+    def test_fuse_type_mismatch(self, config):
+        numeric = build_summary(ValueType.NUMERIC, [1], config)
+        string = build_summary(ValueType.STRING, ["a"], config)
+        with pytest.raises(TypeError):
+            numeric.fuse(string)
+
+    def test_fused_counts_add(self, config):
+        left = build_summary(ValueType.NUMERIC, [1, 2], config)
+        right = build_summary(ValueType.NUMERIC, [3], config)
+        assert left.fuse(right).count == 3
+
+    def test_compress_returns_new_summary(self, config):
+        summary = build_summary(ValueType.NUMERIC, [1, 5, 9, 13], config)
+        compressed = summary.compress(1)
+        assert compressed is not summary
+        assert compressed.size_bytes() < summary.size_bytes()
+        # Original untouched.
+        assert summary.count == compressed.count
+
+    def test_string_compress_leaves_original_intact(self, config):
+        summary = build_summary(
+            ValueType.STRING, ["hello world", "hello there"], config
+        )
+        nodes_before = summary.pst.node_count
+        compressed = summary.compress(4)
+        assert summary.pst.node_count == nodes_before
+        assert compressed.pst.node_count == nodes_before - 4
+
+    def test_compress_exhaustion_returns_none(self, config):
+        summary = build_summary(ValueType.NUMERIC, [7], config)
+        assert summary.compress(1) is None
+
+    def test_text_compress(self, config):
+        summary = build_summary(
+            ValueType.TEXT, [frozenset({"a", "b"}), frozenset({"a"})], config
+        )
+        compressed = summary.compress(1)
+        assert compressed.ebth.exact_term_count == summary.ebth.exact_term_count - 1
+
+    def test_pst_detail_scales_with_strings(self):
+        config = SummaryConfig(pst_nodes_per_string=4)
+        summary = build_summary(
+            ValueType.STRING, ["abcdefgh", "ijklmnop"], config
+        )
+        assert summary.pst.node_count <= 24  # floor applies

@@ -1,0 +1,159 @@
+"""Unit tests for the synopsis graph model and the node-merge operation."""
+
+import pytest
+
+from repro.core.synopsis import XClusterSynopsis
+from repro.values.summary import SummaryConfig, build_summary
+from repro.xmltree.types import ValueType
+
+
+def build_diamond():
+    """root -> u(2), v(3); u -> c(4); v -> c, d(3)."""
+    synopsis = XClusterSynopsis()
+    root = synopsis.add_node("r", ValueType.NULL, 1)
+    u = synopsis.add_node("x", ValueType.NULL, 2)
+    v = synopsis.add_node("x", ValueType.NULL, 3)
+    c = synopsis.add_node("c", ValueType.NULL, 4)
+    d = synopsis.add_node("d", ValueType.NULL, 3)
+    synopsis.set_root(root)
+    synopsis.add_edge(root, u, 2.0)
+    synopsis.add_edge(root, v, 3.0)
+    synopsis.add_edge(u, c, 2.0)
+    synopsis.add_edge(v, c, 1.0)
+    synopsis.add_edge(v, d, 1.0)
+    return synopsis, root, u, v, c, d
+
+
+class TestGraphBasics:
+    def test_counts_and_edges(self):
+        synopsis, *_ = build_diamond()
+        assert len(synopsis) == 5
+        assert synopsis.edge_count == 5
+        assert synopsis.total_element_count() == 13
+
+    def test_validate_ok(self):
+        synopsis, *_ = build_diamond()
+        synopsis.validate()
+
+    def test_positive_edge_counts_required(self):
+        synopsis, root, u, *_ = build_diamond()
+        with pytest.raises(ValueError):
+            synopsis.add_edge(root, u, 0.0)
+
+    def test_levels(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        levels = synopsis.levels()
+        assert levels[c.node_id] == 0
+        assert levels[d.node_id] == 0
+        assert levels[u.node_id] == 1
+        assert levels[v.node_id] == 1
+        assert levels[root.node_id] == 2
+
+    def test_nodes_by_label(self):
+        synopsis, *_ = build_diamond()
+        assert len(synopsis.nodes_by_label("x")) == 2
+
+
+class TestMerge:
+    def test_merged_count_is_sum(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        assert w.count == 5
+        assert len(synopsis) == 4
+        synopsis.validate()
+
+    def test_outgoing_weighted_average(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        # count(w, c) = (2*2 + 3*1) / 5
+        assert w.children[c.node_id] == pytest.approx(7.0 / 5.0)
+        # count(w, d) = (2*0 + 3*1) / 5
+        assert w.children[d.node_id] == pytest.approx(3.0 / 5.0)
+
+    def test_incoming_sum(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        assert root.children[w.node_id] == pytest.approx(5.0)
+
+    def test_parent_sets_rewired(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        assert c.parents == {w.node_id}
+        assert w.parents == {root.node_id}
+
+    def test_merge_label_mismatch_rejected(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        with pytest.raises(ValueError):
+            synopsis.merge_nodes(u.node_id, c.node_id)
+
+    def test_merge_self_rejected(self):
+        synopsis, root, u, *_ = build_diamond()
+        with pytest.raises(ValueError):
+            synopsis.merge_nodes(u.node_id, u.node_id)
+
+    def test_parent_child_merge_creates_self_loop(self):
+        synopsis = XClusterSynopsis()
+        root = synopsis.add_node("r", ValueType.NULL, 1)
+        outer = synopsis.add_node("s", ValueType.NULL, 2)
+        inner = synopsis.add_node("s", ValueType.NULL, 4)
+        synopsis.set_root(root)
+        synopsis.add_edge(root, outer, 2.0)
+        synopsis.add_edge(outer, inner, 2.0)
+        w = synopsis.merge_nodes(outer.node_id, inner.node_id)
+        synopsis.validate()
+        assert w.node_id in w.children  # self-loop
+        # Weighted: (2 elements * 2 children + 4 * 0) / 6.
+        assert w.children[w.node_id] == pytest.approx(4.0 / 6.0)
+
+    def test_root_merge_updates_root_id(self):
+        synopsis = XClusterSynopsis()
+        a = synopsis.add_node("r", ValueType.NULL, 1)
+        b = synopsis.add_node("r", ValueType.NULL, 1)
+        child = synopsis.add_node("c", ValueType.NULL, 2)
+        synopsis.set_root(a)
+        synopsis.add_edge(a, child, 1.0)
+        synopsis.add_edge(b, child, 1.0)
+        w = synopsis.merge_nodes(a.node_id, b.node_id)
+        assert synopsis.root_id == w.node_id
+
+    def test_merge_fuses_value_summaries(self):
+        config = SummaryConfig()
+        synopsis = XClusterSynopsis()
+        root = synopsis.add_node("r", ValueType.NULL, 1)
+        u = synopsis.add_node("y", ValueType.NUMERIC, 2,
+                              build_summary(ValueType.NUMERIC, [1, 2], config))
+        v = synopsis.add_node("y", ValueType.NUMERIC, 3,
+                              build_summary(ValueType.NUMERIC, [3, 4, 5], config))
+        synopsis.set_root(root)
+        synopsis.add_edge(root, u, 2.0)
+        synopsis.add_edge(root, v, 3.0)
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        assert w.vsumm.count == pytest.approx(5.0)
+
+    def test_merge_summarized_with_unsummarized_keeps_summary(self):
+        config = SummaryConfig()
+        synopsis = XClusterSynopsis()
+        root = synopsis.add_node("r", ValueType.NULL, 1)
+        u = synopsis.add_node("y", ValueType.NUMERIC, 2,
+                              build_summary(ValueType.NUMERIC, [1, 2], config))
+        v = synopsis.add_node("y", ValueType.NUMERIC, 3, None)
+        synopsis.set_root(root)
+        synopsis.add_edge(root, u, 2.0)
+        synopsis.add_edge(root, v, 3.0)
+        w = synopsis.merge_nodes(u.node_id, v.node_id)
+        assert w.vsumm is not None
+        assert w.count == 5
+
+    def test_type_mismatch_rejected(self):
+        synopsis = XClusterSynopsis()
+        u = synopsis.add_node("y", ValueType.NUMERIC, 1)
+        v = synopsis.add_node("y", ValueType.STRING, 1)
+        with pytest.raises(ValueError):
+            synopsis.merge_nodes(u.node_id, v.node_id)
+
+    def test_shared_parent_edges_deduplicate(self):
+        synopsis, root, u, v, c, d = build_diamond()
+        before_edges = synopsis.edge_count
+        synopsis.merge_nodes(u.node_id, v.node_id)
+        # root->u and root->v collapse; u->c and v->c collapse: 5 -> 3.
+        assert synopsis.edge_count == before_edges - 2

@@ -1,0 +1,165 @@
+"""Unit and property tests for the Haar-wavelet NUMERIC extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.query.predicates import RangePredicate
+from repro.values import (
+    HaarWavelet,
+    WaveletSummary,
+    build_summary,
+    haar_transform,
+    inverse_haar,
+)
+from repro.values.summary import SummaryConfig
+from repro.xmltree.types import ValueType
+
+
+class TestTransform:
+    def test_roundtrip(self):
+        vector = [1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 7.0, 7.0]
+        assert inverse_haar(haar_transform(vector)) == pytest.approx(vector)
+
+    def test_average_in_slot_zero(self):
+        vector = [2.0, 4.0, 6.0, 8.0]
+        assert haar_transform(vector)[0] == pytest.approx(5.0)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            haar_transform([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            inverse_haar([1.0, 2.0, 3.0])
+
+    def test_constant_vector_has_single_coefficient(self):
+        coefficients = haar_transform([3.0] * 8)
+        assert coefficients[0] == pytest.approx(3.0)
+        assert all(value == pytest.approx(0.0) for value in coefficients[1:])
+
+
+class TestHaarWavelet:
+    def test_exact_with_all_coefficients(self):
+        values = [1, 2, 2, 3, 9, 9, 9, 10]
+        wavelet = HaarWavelet.from_values(values, max_coefficients=10_000)
+        assert wavelet.estimate_range(2, 9) == pytest.approx(6.0)
+        assert wavelet.estimate_range(1, 10) == pytest.approx(8.0)
+
+    def test_total_preserved(self):
+        wavelet = HaarWavelet.from_values(range(100), max_coefficients=8)
+        assert wavelet.total == pytest.approx(100.0)
+
+    def test_empty(self):
+        wavelet = HaarWavelet.from_values([])
+        assert wavelet.total == 0.0
+        assert wavelet.selectivity(0, 10) == 0.0
+
+    def test_truncation_keeps_average(self):
+        wavelet = HaarWavelet.from_values(range(64), max_coefficients=1)
+        assert 0 in wavelet.coefficients
+        # With only the average, estimates are uniform but total-correct.
+        full = wavelet.estimate_range(*wavelet.domain)
+        assert full == pytest.approx(64.0, rel=0.01)
+
+    def test_compress_drops_details(self):
+        wavelet = HaarWavelet.from_values([1, 5, 9, 13, 40, 41], max_coefficients=16)
+        compressed = wavelet.compress(2)
+        assert compressed.coefficient_count == wavelet.coefficient_count - 2
+        assert 0 in compressed.coefficients
+
+    def test_fuse_same_grid_is_linear(self):
+        left = HaarWavelet.from_values([1, 2, 3, 4], max_coefficients=100)
+        right = HaarWavelet.from_values([1, 2, 3, 4], max_coefficients=100)
+        fused = left.fuse(right)
+        assert fused.total == pytest.approx(8.0)
+        assert fused.estimate_range(2, 3) == pytest.approx(4.0)
+
+    def test_fuse_different_grids(self):
+        left = HaarWavelet.from_values([1, 2, 3], max_coefficients=100)
+        right = HaarWavelet.from_values([100, 120], max_coefficients=100)
+        fused = left.fuse(right)
+        assert fused.total == pytest.approx(5.0)
+        assert fused.domain[0] <= 1 and fused.domain[1] >= 120
+
+    def test_wide_domain_uses_coarse_cells(self):
+        wavelet = HaarWavelet.from_values([0, 10**6], max_coefficients=8)
+        assert wavelet.cell_width > 1
+        assert wavelet.total == pytest.approx(2.0)
+
+    def test_size_accounting(self):
+        wavelet = HaarWavelet.from_values([1, 2, 3, 4], max_coefficients=100)
+        assert wavelet.size_bytes() == 12 + 8 * wavelet.coefficient_count
+
+
+class TestWaveletSummary:
+    def test_build_via_config(self):
+        config = SummaryConfig(numeric_summary="wavelet")
+        summary = build_summary(ValueType.NUMERIC, [1, 2, 3, 10], config)
+        assert isinstance(summary, WaveletSummary)
+        assert summary.count == pytest.approx(4.0)
+
+    def test_unknown_mechanism_rejected(self):
+        config = SummaryConfig(numeric_summary="sampling")
+        with pytest.raises(ValueError):
+            build_summary(ValueType.NUMERIC, [1], config)
+
+    def test_selectivity(self):
+        config = SummaryConfig(numeric_summary="wavelet")
+        summary = build_summary(ValueType.NUMERIC, [1, 2, 2, 3, 9, 9, 9, 10], config)
+        assert summary.selectivity(RangePredicate(2, 9)) == pytest.approx(0.75)
+
+    def test_atomic_predicates_are_prefix_ranges(self):
+        config = SummaryConfig(numeric_summary="wavelet")
+        summary = build_summary(ValueType.NUMERIC, list(range(50)), config)
+        predicates = summary.atomic_predicates(8)
+        assert 0 < len(predicates) <= 8
+        assert all(p.low == summary.wavelet.domain[0] for p in predicates)
+
+    def test_compress_interface(self):
+        config = SummaryConfig(numeric_summary="wavelet")
+        summary = build_summary(ValueType.NUMERIC, [1, 7, 9, 30, 55], config)
+        compressed = summary.compress(2)
+        assert compressed.size_bytes() < summary.size_bytes()
+        assert compressed.count == summary.count
+
+    def test_fuse_type_safety(self):
+        config = SummaryConfig(numeric_summary="wavelet")
+        default = SummaryConfig()
+        wavelet = build_summary(ValueType.NUMERIC, [1], config)
+        histogram = build_summary(ValueType.NUMERIC, [1], default)
+        with pytest.raises(TypeError):
+            wavelet.fuse(histogram)
+
+    def test_end_to_end_in_synopsis(self, imdb_small):
+        from repro.core import build_reference_synopsis, estimate_selectivity
+        from repro.query import parse_twig
+        from repro.query.evaluator import evaluate_selectivity
+
+        config = SummaryConfig(numeric_summary="wavelet")
+        synopsis = build_reference_synopsis(
+            imdb_small.tree, imdb_small.value_paths, config
+        )
+        query = parse_twig("//movie/year[. >= 1990]")
+        exact = evaluate_selectivity(imdb_small.tree, query)
+        estimate = estimate_selectivity(synopsis, query)
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=100))
+def test_full_wavelet_is_exact_on_prefix_ranges(values):
+    wavelet = HaarWavelet.from_values(values, max_coefficients=10**6)
+    lo, hi = min(values), max(values)
+    if hi - lo + 1 <= 1024:  # cells are single integers: exact
+        for edge in range(lo, hi + 1, max(1, (hi - lo) // 7 or 1)):
+            truth = sum(1 for v in values if lo <= v <= edge)
+            assert wavelet.estimate_range(lo, edge) == pytest.approx(
+                float(truth), abs=1e-6
+            )
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=20),
+)
+def test_truncated_wavelet_preserves_total(values, coefficients):
+    wavelet = HaarWavelet.from_values(values, max_coefficients=coefficients)
+    assert wavelet.total == pytest.approx(len(values))
+    assert 0.0 <= wavelet.selectivity(0, 100) <= 1.0

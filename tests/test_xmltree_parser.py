@@ -1,0 +1,139 @@
+"""Unit tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.xmltree import (
+    ValueType,
+    XMLParseError,
+    parse_string,
+    serialize,
+    serialized_size_bytes,
+)
+from repro.xmltree.types import tokenize_text
+
+
+class TestParser:
+    def test_simple_document(self):
+        tree = parse_string("<a><b>5</b></a>")
+        assert tree.root.label == "a"
+        assert tree.root.children[0].value == 5
+
+    def test_declaration_comments_and_doctype_skipped(self):
+        text = (
+            '<?xml version="1.0"?><!DOCTYPE a><!-- hi --><a><!-- in -->'
+            "<b>ok</b></a>"
+        )
+        tree = parse_string(text)
+        assert tree.root.children[0].value == "ok"
+
+    def test_numeric_heuristic(self):
+        tree = parse_string("<a><n> 42 </n></a>")
+        node = tree.root.children[0]
+        assert node.value == 42
+        assert node.value_type is ValueType.NUMERIC
+
+    def test_string_heuristic(self):
+        tree = parse_string("<a><s>short text</s></a>")
+        assert tree.root.children[0].value_type is ValueType.STRING
+
+    def test_text_heuristic_long_content(self):
+        words = " ".join(f"word{i}" for i in range(12))
+        tree = parse_string(f"<a><t>{words}</t></a>")
+        node = tree.root.children[0]
+        assert node.value_type is ValueType.TEXT
+        assert "word3" in node.value
+
+    def test_type_map_by_tag(self):
+        tree = parse_string(
+            "<a><year>abc def ghi</year></a>",
+            type_map={"year": ValueType.STRING},
+        )
+        assert tree.root.children[0].value == "abc def ghi"
+
+    def test_type_map_by_path(self):
+        tree = parse_string(
+            "<a><x>some words here</x></a>",
+            type_map={("a", "x"): ValueType.TEXT},
+        )
+        assert tree.root.children[0].value_type is ValueType.TEXT
+
+    def test_type_map_forces_null(self):
+        tree = parse_string("<a><x>123</x></a>", type_map={"x": ValueType.NULL})
+        assert tree.root.children[0].value is None
+
+    def test_attributes_become_children(self):
+        tree = parse_string('<a id="7" name="n"><b/></a>')
+        labels = [child.label for child in tree.root.children]
+        assert "@id" in labels and "@name" in labels and "b" in labels
+
+    def test_entities_decoded(self):
+        tree = parse_string("<a><s>x &amp; y &lt;z&gt; &#65;</s></a>")
+        assert tree.root.children[0].value == "x & y <z> A"
+
+    def test_cdata(self):
+        tree = parse_string("<a><s><![CDATA[raw <stuff>]]></s></a>")
+        assert tree.root.children[0].value == "raw <stuff>"
+
+    def test_self_closing(self):
+        tree = parse_string("<a><b/><c/></a>")
+        assert len(tree.root.children) == 2
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XMLParseError):
+            parse_string("<a><b></c></a>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XMLParseError):
+            parse_string("<a><b>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_string("<a/><b/>")
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_string("<a>text<b/></a>")
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLParseError):
+            parse_string("<a><s>&nosuch;</s></a>")
+
+    def test_error_reports_offset(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_string("<a><b></wrong></a>")
+        assert info.value.position > 0
+
+
+class TestSerializer:
+    def test_roundtrip_structure_and_values(self):
+        source = "<a><b>5</b><c>hello world</c><d/></a>"
+        tree = parse_string(source)
+        again = parse_string(serialize(tree))
+        assert len(again) == len(tree)
+        assert again.root.children[0].value == 5
+        assert again.root.children[1].value == "hello world"
+
+    def test_text_values_roundtrip_as_term_sets(self):
+        words = " ".join(f"word{i}" for i in range(12))
+        tree = parse_string(f"<a><t>{words}</t></a>")
+        again = parse_string(serialize(tree))
+        assert again.root.children[0].value == tree.root.children[0].value
+
+    def test_escaping(self):
+        tree = parse_string("<a><s>x &amp; &lt;y&gt;</s></a>")
+        text = serialize(tree)
+        assert "&amp;" in text and "&lt;y&gt;" in text
+
+    def test_serialized_size_positive(self, bibliography):
+        assert serialized_size_bytes(bibliography.tree) > 100
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize_text("Hello, World! hello") == frozenset({"hello", "world"})
+
+    def test_alnum_kept_together(self):
+        assert "a1b2" in tokenize_text("a1b2 c")
+
+    def test_empty(self):
+        assert tokenize_text("  ,. ") == frozenset()

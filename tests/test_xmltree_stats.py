@@ -1,0 +1,74 @@
+"""Unit tests for tree statistics and label-path utilities."""
+
+from repro.xmltree import collect_statistics, parse_string
+from repro.xmltree.paths import matches_any, path_matches
+from repro.xmltree.types import ValueType
+
+
+def sample_tree():
+    return parse_string(
+        "<a><b>5</b><b>9</b><c>hi</c><d><e>long text one two three four"
+        " five six seven eight nine</e></d></a>"
+    )
+
+
+class TestStatistics:
+    def test_element_count(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.element_count == 6
+
+    def test_max_depth(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.max_depth == 2
+
+    def test_label_counts(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.label_counts["b"] == 2
+        assert stats.label_counts["a"] == 1
+
+    def test_path_counts(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.path_counts[("a", "b")] == 2
+        assert stats.path_counts[("a", "d", "e")] == 1
+
+    def test_numeric_domain(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.numeric_domain == (5, 9)
+
+    def test_type_counts(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.type_counts[ValueType.NUMERIC] == 2
+        assert stats.type_counts[ValueType.STRING] == 1
+        assert stats.type_counts[ValueType.TEXT] == 1
+
+    def test_valued_element_count(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.valued_element_count == 4
+
+    def test_distinct_terms_and_strings(self):
+        stats = collect_statistics(sample_tree())
+        assert stats.distinct_strings == 1
+        assert stats.distinct_terms == 11
+
+    def test_top_paths_ordering(self):
+        stats = collect_statistics(sample_tree())
+        top = stats.top_paths(2)
+        assert top[0][0] == ("a", "b")
+
+
+class TestPathMatching:
+    def test_exact_match(self):
+        assert path_matches(("a", "b"), ("a", "b"))
+
+    def test_length_mismatch(self):
+        assert not path_matches(("a",), ("a", "b"))
+
+    def test_wildcard_segment(self):
+        assert path_matches(("site", "regions", "asia"), ("site", "regions", "*"))
+        assert not path_matches(("site", "x", "asia"), ("site", "regions", "*"))
+
+    def test_matches_any(self):
+        patterns = [("a", "*"), ("b",)]
+        assert matches_any(("a", "z"), patterns)
+        assert matches_any(("b",), patterns)
+        assert not matches_any(("c",), patterns)

@@ -1,0 +1,123 @@
+"""Unit tests for the XML tree substrate."""
+
+import pytest
+
+from repro.xmltree import XMLElement, XMLTree, ValueType
+
+
+def build_sample() -> XMLTree:
+    root = XMLElement("a")
+    b = root.add("b", 5)
+    root.add("c", "hello")
+    b.add("d", frozenset({"x", "y"}))
+    b.add("e")
+    return XMLTree(root)
+
+
+class TestXMLElement:
+    def test_label_required(self):
+        with pytest.raises(ValueError):
+            XMLElement("")
+
+    def test_value_types_inferred(self):
+        assert XMLElement("x").value_type is ValueType.NULL
+        assert XMLElement("x", 3).value_type is ValueType.NUMERIC
+        assert XMLElement("x", "s").value_type is ValueType.STRING
+        assert XMLElement("x", frozenset({"t"})).value_type is ValueType.TEXT
+
+    def test_set_value_reinfers_type(self):
+        element = XMLElement("x", 3)
+        element.set_value("now a string")
+        assert element.value_type is ValueType.STRING
+
+    def test_sets_are_normalized_to_frozensets(self):
+        element = XMLElement("x", {"a", "b"})
+        assert isinstance(element.value, frozenset)
+
+    def test_append_child_sets_parent(self):
+        parent = XMLElement("p")
+        child = parent.add("c")
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_reparenting_rejected(self):
+        parent = XMLElement("p")
+        child = parent.add("c")
+        other = XMLElement("q")
+        with pytest.raises(ValueError):
+            other.append_child(child)
+
+    def test_iter_preorder(self):
+        tree = build_sample()
+        labels = [element.label for element in tree.root.iter()]
+        assert labels == ["a", "b", "d", "e", "c"]
+
+    def test_descendants_excludes_self(self):
+        tree = build_sample()
+        labels = [element.label for element in tree.root.descendants()]
+        assert "a" not in labels
+        assert len(labels) == 4
+
+    def test_label_path(self):
+        tree = build_sample()
+        d = tree.root.children[0].children[0]
+        assert d.label_path() == ("a", "b", "d")
+
+    def test_depth_and_subtree_size(self):
+        tree = build_sample()
+        b = tree.root.children[0]
+        assert b.depth() == 1
+        assert b.subtree_size() == 3
+        assert tree.root.depth() == 0
+
+    def test_children_with_label(self):
+        root = XMLElement("r")
+        root.add("x")
+        root.add("y")
+        root.add("x")
+        assert len(root.children_with_label("x")) == 2
+
+    def test_bool_value_rejected(self):
+        with pytest.raises(TypeError):
+            XMLElement("x", True)
+
+
+class TestXMLTree:
+    def test_len_counts_elements(self):
+        assert len(build_sample()) == 5
+
+    def test_root_with_parent_rejected(self):
+        parent = XMLElement("p")
+        child = parent.add("c")
+        with pytest.raises(ValueError):
+            XMLTree(child)
+
+    def test_elements_by_label(self):
+        groups = build_sample().elements_by_label()
+        assert set(groups) == {"a", "b", "c", "d", "e"}
+
+    def test_elements_on_path(self):
+        tree = build_sample()
+        assert len(tree.elements_on_path(("a", "b", "d"))) == 1
+        assert tree.elements_on_path(("a", "nope")) == []
+
+    def test_value_paths_sorted(self):
+        paths = build_sample().value_paths()
+        assert ("a", "b") in paths
+        assert ("a", "c") in paths
+        assert ("a", "b", "d") in paths
+        assert paths == sorted(paths)
+
+    def test_validate_accepts_well_formed(self):
+        build_sample().validate()
+
+    def test_validate_rejects_bad_parent(self):
+        tree = build_sample()
+        tree.root.children[0].parent = tree.root.children[1]
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_find_all(self):
+        tree = build_sample()
+        found = tree.find_all(lambda e: e.value_type is ValueType.NULL)
+        assert {e.label for e in found} == {"a", "e"}
