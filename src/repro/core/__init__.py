@@ -9,6 +9,9 @@ This package implements the paper's primary contribution:
   path-respecting count-stable refinement, Section 4.3);
 * :mod:`repro.core.distance` — the localized Δ(S, S′) structure-value
   clustering error metric over atomic query paths (Section 4.1);
+* :mod:`repro.core.scoring` — the vectorized candidate-scoring engine
+  (per-node selectivity profiles, factored child moments, and opt-in
+  parallel pool construction);
 * :mod:`repro.core.builder` — the two-phase XCLUSTERBUILD algorithm
   (structure-value merge with a marginal-loss candidate pool, then
   value-summary compression; Figures 5 and 6);
@@ -22,7 +25,8 @@ This package implements the paper's primary contribution:
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
 from repro.core.reference import build_reference_synopsis, build_tag_synopsis
 from repro.core.distance import merge_delta, compression_delta
-from repro.core.builder import BuildConfig, XClusterBuilder, build_xcluster
+from repro.core.scoring import ScoringEngine, SelectivityProfile
+from repro.core.builder import BuildConfig, BuildStats, XClusterBuilder, build_xcluster
 from repro.core.approximate import DocumentSynthesizer, synthesize_document
 from repro.core.autobudget import (
     AutoBudgetResult,
@@ -47,7 +51,10 @@ __all__ = [
     "build_tag_synopsis",
     "merge_delta",
     "compression_delta",
+    "ScoringEngine",
+    "SelectivityProfile",
     "BuildConfig",
+    "BuildStats",
     "XClusterBuilder",
     "build_xcluster",
     "XClusterEstimator",

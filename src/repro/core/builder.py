@@ -16,11 +16,13 @@ same marginal-loss rule.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.distance import SelectivityCache, compression_delta
 from repro.core.pool import CandidatePool, build_pool
+from repro.core.scoring import ScoringEngine
 from repro.core.reference import LabelPath, build_reference_synopsis
 from repro.core.sizing import structural_size_bytes, value_size_bytes
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
@@ -48,6 +50,13 @@ class BuildConfig:
         histogram_step: buckets removed per ``hist_cmprs`` step.
         string_step: PST leaves pruned per ``st_cmprs`` step.
         text_step: terms demoted per ``tv_cmprs`` step.
+        scoring: candidate-scoring implementation — ``"vectorized"``
+            (the profile-backed engine, default) or ``"scalar"`` (the
+            reference Δ implementation, kept for parity testing and
+            benchmarking against the pre-optimization path).
+        workers: processes for parallel pool construction; 1 (default)
+            keeps pool builds serial.  Only the vectorized engine fans
+            out; scalar scoring ignores this knob.
         summary: construction knobs for the detailed reference summaries.
     """
 
@@ -60,12 +69,20 @@ class BuildConfig:
     histogram_step: int = 1
     string_step: int = 8
     text_step: int = 4
+    scoring: str = "vectorized"
+    workers: int = 1
     summary: SummaryConfig = field(default_factory=SummaryConfig)
 
 
 @dataclass
 class BuildStats:
-    """Diagnostics of one construction run."""
+    """Diagnostics of one construction run.
+
+    Beyond the outcome counters, the stats carry the construction
+    profiling layer: per-phase wall-clock timers, Δ-evaluation counts,
+    selectivity-cache and profile hit rates (vectorized scoring only),
+    and the candidate-pool trim churn.
+    """
 
     merges_applied: int = 0
     value_steps_applied: int = 0
@@ -76,6 +93,37 @@ class BuildStats:
     value_budget_met: bool = False
     reference_nodes: int = 0
     final_nodes: int = 0
+    #: Wall-clock seconds spent inside ``build_pool`` calls.
+    pool_build_seconds: float = 0.0
+    #: Wall-clock seconds of phase 1 (structure-value merge).
+    merge_phase_seconds: float = 0.0
+    #: Wall-clock seconds of phase 2 (value-summary compression).
+    value_phase_seconds: float = 0.0
+    #: Δ evaluations: merge scoring (pool + rescoring) and value steps.
+    scoring_calls: int = 0
+    #: Selectivity resolutions served from / missing the shared cache.
+    selectivity_cache_hits: int = 0
+    selectivity_cache_misses: int = 0
+    #: Selectivity-profile reuse across candidates and pool rebuilds.
+    profile_hits: int = 0
+    profile_misses: int = 0
+    #: Candidate-pool capacity trims and candidates evicted by them.
+    pool_trims: int = 0
+    candidates_trimmed: int = 0
+    #: Processes used for pool construction (1 = serial).
+    workers_used: int = 1
+
+    @property
+    def selectivity_cache_hit_rate(self) -> float:
+        """Fraction of cache-eligible selectivity lookups served cached."""
+        total = self.selectivity_cache_hits + self.selectivity_cache_misses
+        return self.selectivity_cache_hits / total if total else 0.0
+
+    @property
+    def profile_hit_rate(self) -> float:
+        """Fraction of profile requests served without a rebuild."""
+        total = self.profile_hits + self.profile_misses
+        return self.profile_hits / total if total else 0.0
 
 
 @dataclass(order=True)
@@ -95,8 +143,14 @@ class XClusterBuilder:
 
     def __init__(self, config: Optional[BuildConfig] = None) -> None:
         self.config = config if config is not None else BuildConfig()
+        if self.config.scoring not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"unknown scoring mode {self.config.scoring!r}; "
+                "expected 'vectorized' or 'scalar'"
+            )
         self.stats = BuildStats()
         self._cache: SelectivityCache = {}
+        self._engine: Optional[ScoringEngine] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -117,9 +171,24 @@ class XClusterBuilder:
         Returns the same synopsis object for convenience.
         """
         self.stats = BuildStats(reference_nodes=len(synopsis))
+        self.stats.workers_used = max(1, self.config.workers)
         self._cache = {}
+        self._engine = (
+            ScoringEngine(synopsis, self.config.predicate_limit, self._cache)
+            if self.config.scoring == "vectorized"
+            else None
+        )
+        started = perf_counter()
         self._merge_phase(synopsis)
+        self.stats.merge_phase_seconds = perf_counter() - started
+        started = perf_counter()
         self._value_phase(synopsis)
+        self.stats.value_phase_seconds = perf_counter() - started
+        if self._engine is not None:
+            self.stats.selectivity_cache_hits = self._engine.cache_hits
+            self.stats.selectivity_cache_misses = self._engine.cache_misses
+            self.stats.profile_hits = self._engine.profile_hits
+            self.stats.profile_misses = self._engine.profile_misses
         self.stats.final_structural_bytes = structural_size_bytes(synopsis)
         self.stats.final_value_bytes = value_size_bytes(synopsis)
         self.stats.structural_budget_met = (
@@ -133,6 +202,36 @@ class XClusterBuilder:
 
     # -- phase 1: structure-value merge ------------------------------------------
 
+    def _build_pool(
+        self,
+        synopsis: XClusterSynopsis,
+        level_limit: int,
+        levels: Dict[int, int],
+    ) -> CandidatePool:
+        """One timed ``build_pool`` call with the configured scoring path."""
+        config = self.config
+        started = perf_counter()
+        pool = build_pool(
+            synopsis,
+            config.pool_max,
+            level_limit,
+            levels,
+            config.predicate_limit,
+            config.neighbors,
+            self._cache,
+            engine=self._engine,
+            workers=config.workers if self._engine is not None else 1,
+        )
+        self.stats.pool_build_seconds += perf_counter() - started
+        self.stats.pool_rebuilds += 1
+        return pool
+
+    def _collect_pool_stats(self, pool: CandidatePool) -> None:
+        """Fold a retiring pool's counters into the build stats."""
+        self.stats.scoring_calls += pool.scoring_calls
+        self.stats.pool_trims += pool.trims
+        self.stats.candidates_trimmed += pool.candidates_trimmed
+
     def _merge_phase(self, synopsis: XClusterSynopsis) -> None:
         config = self.config
         structural = structural_size_bytes(synopsis)
@@ -142,16 +241,7 @@ class XClusterBuilder:
         levels = synopsis.levels()
         max_level_cap = max(levels.values(), default=0) + 1
         level_limit = 1
-        pool = build_pool(
-            synopsis,
-            config.pool_max,
-            level_limit,
-            levels,
-            config.predicate_limit,
-            config.neighbors,
-            self._cache,
-        )
-        self.stats.pool_rebuilds += 1
+        pool = self._build_pool(synopsis, level_limit, levels)
         group_index = self._group_index(synopsis)
 
         while structural > config.structural_budget:
@@ -189,18 +279,11 @@ class XClusterBuilder:
             level_limit = min(next_limit, max_level_cap)
             levels = synopsis.levels()
             max_level_cap = max(levels.values(), default=0) + 1
-            pool = build_pool(
-                synopsis,
-                config.pool_max,
-                level_limit,
-                levels,
-                config.predicate_limit,
-                config.neighbors,
-                self._cache,
-            )
-            self.stats.pool_rebuilds += 1
+            self._collect_pool_stats(pool)
+            pool = self._build_pool(synopsis, level_limit, levels)
             if len(pool) == 0 and level_limit >= max_level_cap:
                 break
+        self._collect_pool_stats(pool)
 
     @staticmethod
     def _group_index(synopsis: XClusterSynopsis) -> Dict[Tuple, List[int]]:
@@ -268,9 +351,13 @@ class XClusterBuilder:
         saving = summary.size_bytes() - compressed.size_bytes()
         if saving <= 0:
             return None
-        delta = compression_delta(
-            node, compressed, self.config.predicate_limit, self._cache
-        )
+        self.stats.scoring_calls += 1
+        if self._engine is not None:
+            delta = self._engine.compression_delta(node, compressed)
+        else:
+            delta = compression_delta(
+                node, compressed, self.config.predicate_limit, self._cache
+            )
         return _ValueCandidate(
             marginal_loss=delta / saving,
             node_id=node.node_id,
@@ -318,13 +405,21 @@ def build_xcluster(
         structural_budget: ``B_str`` in bytes.
         value_budget: ``B_val`` in bytes.
         value_paths: label paths under which value summaries are kept.
-        config: overrides for the remaining knobs.
+        config: overrides for the remaining knobs; the caller's object
+            is never mutated — the budgets are applied to a copy.
 
     Returns:
         The compressed synopsis.
     """
-    config = config if config is not None else BuildConfig()
-    config.structural_budget = structural_budget
-    config.value_budget = value_budget
+    if config is None:
+        config = BuildConfig(
+            structural_budget=structural_budget, value_budget=value_budget
+        )
+    else:
+        config = replace(
+            config,
+            structural_budget=structural_budget,
+            value_budget=value_budget,
+        )
     builder = XClusterBuilder(config)
     return builder.build(tree, value_paths)

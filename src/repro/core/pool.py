@@ -14,6 +14,15 @@ synopsis, so candidate *generation* pairs each node only with its ``K``
 nearest neighbors in a cheap structural-similarity order, exactly in the
 spirit of the paper's bottom-up level heuristic (nodes whose children
 were merged sort together).  Small groups still enumerate all pairs.
+
+Scoring goes through the vectorized :class:`~repro.core.scoring
+.ScoringEngine` when one is supplied (the builder's default); without an
+engine the pool falls back to the scalar Δ implementation, which is the
+pre-optimization reference path.  ``build_pool`` can additionally fan
+candidate scoring out over a ``multiprocessing`` pool (``workers > 1``);
+scoring is a pure function of the synopsis and candidate ordering is
+total (marginal loss, then node ids), so the parallel path keeps exactly
+the serial candidate set and pop order.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.distance import SelectivityCache, merge_delta
+from repro.core.scoring import ScoringEngine, score_pairs_parallel
 from repro.core.sizing import merge_size_saving
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
 from repro.values.summary import (
@@ -35,14 +45,25 @@ from repro.values.summary import (
 #: Below this group size every pair is considered (quadratic is cheap).
 EXHAUSTIVE_GROUP_SIZE = 24
 
+#: The heap may overflow ``max_size`` by this factor before a trim; the
+#: bounded overflow amortizes the ``nsmallest`` + re-heapify churn over
+#: many insertions instead of paying it per batch.
+POOL_SLACK = 1.5
+
 
 @dataclass(order=True)
 class MergeCandidate:
-    """One candidate ``merge(u, v)`` with its cached score."""
+    """One candidate ``merge(u, v)`` with its cached score.
+
+    Ordering is total — marginal loss with the node-id pair as a tie
+    breaker — so heap pops and capacity trims are deterministic
+    regardless of insertion order (serial and parallel pool builds pop
+    identically).
+    """
 
     marginal_loss: float
-    u_id: int = field(compare=False)
-    v_id: int = field(compare=False)
+    u_id: int
+    v_id: int
     delta: float = field(compare=False)
     size_saving: int = field(compare=False)
     #: Sum of the neighborhood versions of u and v at scoring time.
@@ -74,11 +95,28 @@ def _summary_key(node: SynopsisNode) -> Tuple:
     return ()
 
 
-def similarity_key(synopsis: XClusterSynopsis, node: SynopsisNode) -> Tuple:
-    """Sort key placing structurally-similar clusters next to each other."""
-    child_labels = tuple(
-        sorted(synopsis.node(child_id).label for child_id in node.children)
-    )
+def similarity_key(
+    synopsis: XClusterSynopsis,
+    node: SynopsisNode,
+    label_memo: Optional[Dict[int, Tuple[str, ...]]] = None,
+) -> Tuple:
+    """Sort key placing structurally-similar clusters next to each other.
+
+    ``label_memo`` memoizes each node's sorted child-label tuple (keyed
+    by node id — children do not change during one pool build), saving
+    the per-comparison label lookups when a group is sorted.
+    """
+    if label_memo is None:
+        child_labels = tuple(
+            sorted(synopsis.node(child_id).label for child_id in node.children)
+        )
+    else:
+        child_labels = label_memo.get(node.node_id)
+        if child_labels is None:
+            child_labels = tuple(
+                sorted(synopsis.node(child_id).label for child_id in node.children)
+            )
+            label_memo[node.node_id] = child_labels
     total_children = sum(node.children.values())
     return (child_labels, round(total_children, 3), _summary_key(node), node.count)
 
@@ -87,6 +125,7 @@ def candidate_pairs(
     synopsis: XClusterSynopsis,
     nodes: List[SynopsisNode],
     neighbors: int,
+    label_memo: Optional[Dict[int, Tuple[str, ...]]] = None,
 ) -> Iterable[Tuple[int, int]]:
     """Yield merge-candidate id pairs for one merge-compatible group."""
     if len(nodes) < 2:
@@ -95,12 +134,20 @@ def candidate_pairs(
         for left, right in itertools.combinations(nodes, 2):
             yield (left.node_id, right.node_id)
         return
-    ordered = sorted(nodes, key=lambda node: similarity_key(synopsis, node))
-    for index, node in enumerate(ordered):
+    # Decorate-sort-undecorate: each node's similarity key is computed
+    # exactly once (it is itself a nontrivial aggregate) instead of
+    # O(n log n) times inside the sort's comparator; node id breaks key
+    # ties deterministically.
+    decorated = sorted(
+        (similarity_key(synopsis, node, label_memo), node.node_id)
+        for node in nodes
+    )
+    ordered = [node_id for _, node_id in decorated]
+    for index, node_id in enumerate(ordered):
         for offset in range(1, neighbors + 1):
             if index + offset >= len(ordered):
                 break
-            yield (node.node_id, ordered[index + offset].node_id)
+            yield (node_id, ordered[index + offset])
 
 
 class CandidatePool:
@@ -112,14 +159,22 @@ class CandidatePool:
         max_size: int,
         predicate_limit: int,
         cache: Optional[SelectivityCache] = None,
+        engine: Optional[ScoringEngine] = None,
+        slack: float = POOL_SLACK,
     ) -> None:
         self.synopsis = synopsis
         self.max_size = max_size
         self.predicate_limit = predicate_limit
         self.cache: SelectivityCache = cache if cache is not None else {}
+        self.engine = engine
+        self.slack = max(1.0, slack)
         self._heap: List[MergeCandidate] = []
         #: Bumped whenever a node's local neighborhood changes.
         self.node_versions: Dict[int, int] = {}
+        #: Diagnostics: Δ evaluations and capacity-trim churn.
+        self.scoring_calls = 0
+        self.trims = 0
+        self.candidates_trimmed = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -137,7 +192,13 @@ class CandidatePool:
         v = nodes.get(v_id)
         if u is None or v is None or u.merge_key() != v.merge_key():
             return None
-        delta = merge_delta(self.synopsis, u, v, self.predicate_limit, self.cache)
+        self.scoring_calls += 1
+        if self.engine is not None:
+            delta = self.engine.merge_delta(u, v)
+        else:
+            delta = merge_delta(
+                self.synopsis, u, v, self.predicate_limit, self.cache
+            )
         saving = max(1, merge_size_saving(self.synopsis, u_id, v_id))
         return MergeCandidate(
             marginal_loss=delta / saving,
@@ -146,6 +207,22 @@ class CandidatePool:
             delta=delta,
             size_saving=saving,
             version=self._pair_version(u_id, v_id),
+        )
+
+    def add_scored(
+        self, u_id: int, v_id: int, delta: float, size_saving: int
+    ) -> None:
+        """Enqueue an externally scored candidate (parallel pool build)."""
+        heapq.heappush(
+            self._heap,
+            MergeCandidate(
+                marginal_loss=delta / size_saving,
+                u_id=u_id,
+                v_id=v_id,
+                delta=delta,
+                size_saving=size_saving,
+                version=self._pair_version(u_id, v_id),
+            ),
         )
 
     def push_pair(self, u_id: int, v_id: int) -> None:
@@ -160,16 +237,35 @@ class CandidatePool:
             self.push_pair(u_id, v_id)
         self.enforce_capacity()
 
-    def enforce_capacity(self) -> None:
-        """Drop the worst-marginal-loss candidates beyond ``max_size``."""
-        if len(self._heap) > self.max_size:
+    def enforce_capacity(self, strict: bool = False) -> None:
+        """Trim the worst-marginal-loss candidates down to ``max_size``.
+
+        By default the trim only fires once the heap overflows
+        ``max_size`` by the slack factor (bounded overflow — trimming is
+        O(n log Hm), so paying it on every batch of insertions is pure
+        churn).  ``strict=True`` restores the hard ``max_size`` bound;
+        ``build_pool`` applies it once after all groups are enqueued.
+        Incremental slack trims never evict a top-``max_size`` candidate,
+        so the surviving set equals a single global trim.
+        """
+        threshold = self.max_size if strict else int(self.max_size * self.slack)
+        if len(self._heap) > threshold:
+            self.trims += 1
+            self.candidates_trimmed += len(self._heap) - self.max_size
             self._heap = heapq.nsmallest(self.max_size, self._heap)
             heapq.heapify(self._heap)
 
     def bump_versions(self, node_ids: Iterable[int]) -> None:
-        """Mark nodes' neighborhoods changed (stale candidates rescore)."""
+        """Mark nodes' neighborhoods changed (stale candidates rescore).
+
+        The scoring engine's profiles cover the same local state (the
+        child-count moments), so the touched profiles are dropped too.
+        """
+        node_ids = list(node_ids)
         for node_id in node_ids:
             self.node_versions[node_id] = self.node_versions.get(node_id, 0) + 1
+        if self.engine is not None:
+            self.engine.invalidate(node_ids)
 
     def pop_best(self) -> Optional[MergeCandidate]:
         """Pop the lowest-marginal-loss *valid* candidate.
@@ -199,14 +295,24 @@ def build_pool(
     predicate_limit: int = 48,
     neighbors: int = 8,
     cache: Optional[SelectivityCache] = None,
+    engine: Optional[ScoringEngine] = None,
+    workers: int = 1,
 ) -> CandidatePool:
     """Assemble the candidate pool for the current level bound.
 
     Mirrors the paper's ``build_pool(S, Hm, l)``: consider merges among
     merge-compatible nodes whose level is at most ``level_limit``, keep
     the best ``max_size`` by marginal loss.
+
+    With ``workers > 1`` (and an engine), candidate scoring fans out
+    over a process pool; the scored candidates merge back into the same
+    heap and the final strict capacity trim keeps exactly the serial
+    result.  When a process pool is unavailable the build silently runs
+    serially.
     """
-    pool = CandidatePool(synopsis, max_size, predicate_limit, cache)
+    pool = CandidatePool(
+        synopsis, max_size, predicate_limit, cache, engine=engine
+    )
     groups: Dict[Tuple, List[SynopsisNode]] = {}
     for node in synopsis:
         if levels.get(node.node_id, 0) > level_limit:
@@ -214,6 +320,25 @@ def build_pool(
         if node.node_id == synopsis.root_id:
             continue  # the root cluster is never merged away
         groups.setdefault(node.merge_key(), []).append(node)
-    for members in groups.values():
-        pool.extend(candidate_pairs(synopsis, members, neighbors))
+
+    label_memo: Dict[int, Tuple[str, ...]] = {}
+    scored = None
+    if workers > 1 and engine is not None:
+        pairs = [
+            pair
+            for members in groups.values()
+            for pair in candidate_pairs(synopsis, members, neighbors, label_memo)
+        ]
+        scored = score_pairs_parallel(
+            synopsis, pairs, predicate_limit, workers
+        )
+        if scored is not None:
+            pool.scoring_calls += len(scored)
+            for u_id, v_id, delta, saving in scored:
+                pool.add_scored(u_id, v_id, delta, saving)
+            pool.enforce_capacity()
+    if scored is None:
+        for members in groups.values():
+            pool.extend(candidate_pairs(synopsis, members, neighbors, label_memo))
+    pool.enforce_capacity(strict=True)
     return pool

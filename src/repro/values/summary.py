@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.query.predicates import (
     AtLeastKPredicate,
@@ -82,9 +82,41 @@ class ValueSummary:
         """Estimated fraction of values satisfying ``predicate``."""
         raise NotImplementedError
 
+    def fast_selectivity(self, predicate: Predicate) -> float:
+        """``selectivity`` via the cheapest equivalent evaluation path.
+
+        The candidate-scoring engine resolves selectivities in bulk, so
+        summaries may serve it from sub-linear structures (the histogram
+        answers range predicates from a cached CDF).  The default simply
+        delegates; overrides must stay numerically equivalent to
+        :meth:`selectivity` up to float rounding.
+        """
+        return self.selectivity(predicate)
+
     def atomic_predicates(self, limit: int = 48) -> List[Predicate]:
         """The localized micro-benchmark predicates for the Δ metric."""
         raise NotImplementedError
+
+    def canonical_atomic_predicates(self, limit: int = 48) -> Tuple[Predicate, ...]:
+        """The atomic predicates as a stable, memoized tuple.
+
+        Summaries are immutable once attached to a synopsis node (fusion
+        and compression both return *new* objects), so the atomic set is
+        a pure function of the summary and can be canonicalized once:
+        the candidate-scoring engine keys selectivity profiles on it and
+        avoids re-enumerating predicate sets per candidate pair (for
+        suffix-tree summaries each enumeration walks and sorts the whole
+        trie).  The tuple preserves ``atomic_predicates`` order exactly.
+        """
+        memo = self.__dict__.get("_canonical_predicates")
+        if memo is None:
+            memo = {}
+            self.__dict__["_canonical_predicates"] = memo
+        canonical = memo.get(limit)
+        if canonical is None:
+            canonical = tuple(self.atomic_predicates(limit))
+            memo[limit] = canonical
+        return canonical
 
     def fuse(self, other: "ValueSummary") -> "ValueSummary":
         """Combine with another summary of the same type (node merge)."""
@@ -135,6 +167,11 @@ class HistogramSummary(ValueSummary):
         if not isinstance(predicate, RangePredicate):
             raise TypeError(f"NUMERIC summary cannot evaluate {predicate!r}")
         return self.histogram.selectivity(predicate.low, predicate.high)
+
+    def fast_selectivity(self, predicate: Predicate) -> float:
+        if not isinstance(predicate, RangePredicate):
+            raise TypeError(f"NUMERIC summary cannot evaluate {predicate!r}")
+        return self.histogram.selectivity_cdf(predicate.low, predicate.high)
 
     def atomic_predicates(self, limit: int = 48) -> List[Predicate]:
         domain_low = self.histogram.domain[0]
