@@ -25,12 +25,15 @@ Quickstart::
 
 from repro.core import (
     BuildConfig,
+    CompiledEstimator,
+    WorkloadEstimator,
     XClusterBuilder,
     XClusterEstimator,
     XClusterSynopsis,
     build_reference_synopsis,
     build_tag_synopsis,
     build_xcluster,
+    estimate_many,
     estimate_selectivity,
     structural_size_bytes,
     total_size_bytes,
@@ -43,12 +46,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BuildConfig",
+    "CompiledEstimator",
+    "WorkloadEstimator",
     "XClusterBuilder",
     "XClusterEstimator",
     "XClusterSynopsis",
     "build_reference_synopsis",
     "build_tag_synopsis",
     "build_xcluster",
+    "estimate_many",
     "estimate_selectivity",
     "evaluate_selectivity",
     "parse_twig",

@@ -16,7 +16,12 @@ This package implements the paper's primary contribution:
   (structure-value merge with a marginal-loss candidate pool, then
   value-summary compression; Figures 5 and 6);
 * :mod:`repro.core.estimator` — embedding-based twig selectivity
-  estimation under generalized Path-Value Independence (Section 5);
+  estimation under generalized Path-Value Independence (Section 5; the
+  scalar reference oracle);
+* :mod:`repro.core.estimation` — the compiled twig-plan estimation
+  engine: synopsis-level transition/reach indexes with cross-query
+  caching, batched workload serving over a process pool, and the
+  ``EstimatorStats`` observability layer;
 * :mod:`repro.core.sizing` — byte-accurate storage accounting;
 * :mod:`repro.core.baselines` — tag-only and structure-only summaries
   plus naive merge policies used by the ablation benchmarks.
@@ -34,6 +39,14 @@ from repro.core.autobudget import (
     build_xcluster_auto,
 )
 from repro.core.estimator import XClusterEstimator, estimate_selectivity
+from repro.core.estimation import (
+    CompiledEstimator,
+    CompiledPlan,
+    EstimatorStats,
+    SynopsisIndex,
+    WorkloadEstimator,
+    estimate_many,
+)
 from repro.core.explain import EstimateExplanation, explain
 from repro.core.serialization import (
     SynopsisFormatError,
@@ -59,6 +72,12 @@ __all__ = [
     "build_xcluster",
     "XClusterEstimator",
     "estimate_selectivity",
+    "CompiledEstimator",
+    "CompiledPlan",
+    "EstimatorStats",
+    "SynopsisIndex",
+    "WorkloadEstimator",
+    "estimate_many",
     "DocumentSynthesizer",
     "synthesize_document",
     "EstimateExplanation",

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.builder import BuildConfig, XClusterBuilder
-from repro.core.estimator import XClusterEstimator
+from repro.core.estimation import WorkloadEstimator
 from repro.core.reference import LabelPath, build_reference_synopsis
 from repro.core.synopsis import XClusterSynopsis
 from repro.query.ast import TwigQuery
@@ -51,16 +51,25 @@ class AutoBudgetResult:
 
 
 def _sample_error(
-    synopsis: XClusterSynopsis, sample: Sequence[SamplePair]
+    synopsis: XClusterSynopsis,
+    sample: Sequence[SamplePair],
+    workload_estimator: Optional[WorkloadEstimator] = None,
 ) -> float:
-    """Average absolute relative error with the 10-percentile bound."""
+    """Average absolute relative error with the 10-percentile bound.
+
+    A caller-held :class:`WorkloadEstimator` carries the compiled query
+    plans across trial synopses — the ratio search scores the same
+    sample against a dozen candidates, so only the per-synopsis indexes
+    are rebuilt per trial.
+    """
     counts = sorted(exact for _, exact in sample)
     index = max(0, (len(counts) + 9) // 10 - 1)
     bound = float(max(1, counts[index]))
-    estimator = XClusterEstimator(synopsis)
+    if workload_estimator is None:
+        workload_estimator = WorkloadEstimator([query for query, _ in sample])
+    estimates = workload_estimator.estimate_all(synopsis)
     total = 0.0
-    for query, exact in sample:
-        estimate = estimator.estimate(query)
+    for (_, exact), estimate in zip(sample, estimates):
         total += abs(exact - estimate) / max(exact, bound)
     return total / len(sample)
 
@@ -94,6 +103,7 @@ def allocate_budget(
 
     trials: List[Tuple[float, float]] = []
     evaluated = {}
+    workload_estimator = WorkloadEstimator([query for query, _ in sample])
 
     def evaluate(ratio: float):
         ratio = min(0.95, max(0.005, ratio))
@@ -105,7 +115,7 @@ def allocate_budget(
         trial_config.structural_budget = max(1, int(total_budget * ratio))
         trial_config.value_budget = max(1, total_budget - trial_config.structural_budget)
         XClusterBuilder(trial_config).compress(synopsis)
-        error = _sample_error(synopsis, sample)
+        error = _sample_error(synopsis, sample, workload_estimator)
         evaluated[key] = (error, synopsis, trial_config)
         trials.append((key, error))
         return evaluated[key]

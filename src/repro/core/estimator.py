@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.core.distance import node_selectivity
+from repro.core.distance import SelectivityCache, node_selectivity
 from repro.core.synopsis import XClusterSynopsis
 from repro.query.ast import AxisStep, QueryNode, TwigQuery
 
@@ -31,21 +31,44 @@ from repro.query.ast import AxisStep, QueryNode, TwigQuery
 VIRTUAL_ROOT = -1
 
 
+def variable_order(query: TwigQuery) -> Dict[QueryNode, int]:
+    """Stable per-query variable indexes (pre-order, root = 0).
+
+    Memo and plan keys use these indexes instead of ``id(variable)``:
+    indexes survive plan caching across queries, whereas ``id()`` keys
+    would alias once a query object is garbage-collected and its
+    addresses recycled.
+    """
+    return {variable: index for index, variable in enumerate(query.root.iter())}
+
+
 class XClusterEstimator:
     """Estimates twig selectivities over one synopsis.
 
-    The estimator is read-only and caches descendant path counts, so
-    reuse it across a workload; rebuild it after the synopsis changes.
+    This is the scalar *reference oracle*: a direct transcription of the
+    paper's sum-product with no precomputed indexes.  The compiled
+    engine in :mod:`repro.core.estimation` must match it to 1e-9 on
+    every query.  The estimator is read-only and caches descendant path
+    counts and predicate selectivities, so reuse it across a workload;
+    rebuild it after the synopsis changes.
     """
 
     def __init__(
-        self, synopsis: XClusterSynopsis, max_path_length: int = 40
+        self,
+        synopsis: XClusterSynopsis,
+        max_path_length: int = 40,
+        selectivity_cache: Optional[SelectivityCache] = None,
     ) -> None:
         if max_path_length < 1:
             raise ValueError("max_path_length must be >= 1")
         self.synopsis = synopsis
         self.max_path_length = max_path_length
         self._descendant_cache: Dict[int, Dict[int, float]] = {}
+        #: (value summary, predicate) -> σ, shared across every query this
+        #: estimator serves (and with any caller that passed its own).
+        self.selectivity_cache: SelectivityCache = (
+            selectivity_cache if selectivity_cache is not None else {}
+        )
 
     # -- structural path counts ---------------------------------------------
 
@@ -116,17 +139,18 @@ class XClusterEstimator:
     def estimate(self, query: TwigQuery) -> float:
         """The estimated number of binding tuples of ``query``."""
         memo: Dict[Tuple[int, int], float] = {}
-        return self._tuples(query.root, VIRTUAL_ROOT, memo)
+        return self._tuples(query.root, VIRTUAL_ROOT, memo, variable_order(query))
 
     def _tuples(
         self,
         variable: QueryNode,
         node_id: int,
         memo: Dict[Tuple[int, int], float],
+        order: Dict[QueryNode, int],
     ) -> float:
         """Expected binding tuples of the subtree at ``variable`` per
         element of synopsis node ``node_id`` bound to it."""
-        key = (id(variable), node_id)
+        key = (order[variable], node_id)
         cached = memo.get(key)
         if cached is not None:
             return cached
@@ -135,10 +159,14 @@ class XClusterEstimator:
             branch = 0.0
             for target_id, count in self.reach(node_id, child.edge).items():
                 target = self.synopsis.node(target_id)
-                sigma = node_selectivity(target, child.predicate)
+                sigma = node_selectivity(
+                    target, child.predicate, self.selectivity_cache
+                )
                 if sigma <= 0.0 or count <= 0.0:
                     continue
-                branch += count * sigma * self._tuples(child, target_id, memo)
+                branch += count * sigma * self._tuples(
+                    child, target_id, memo, order
+                )
             total *= branch
             if total == 0.0:
                 break

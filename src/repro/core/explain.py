@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.core.distance import node_selectivity
-from repro.core.estimator import VIRTUAL_ROOT, XClusterEstimator
+from repro.core.estimator import VIRTUAL_ROOT, XClusterEstimator, variable_order
 from repro.core.synopsis import XClusterSynopsis
 from repro.query.ast import QueryNode, TwigQuery
 
@@ -81,11 +81,12 @@ def explain(
     estimator = XClusterEstimator(synopsis, max_path_length)
     explanation = EstimateExplanation(query.to_xpath(), 0.0)
     memo: Dict[Tuple[int, int], float] = {}
+    order = variable_order(query)
 
     def tuples(variable: QueryNode, node_id: int) -> float:
         """As the estimator's sum-product, but recording each fresh
         (variable, embedding target) contribution once."""
-        key = (id(variable), node_id)
+        key = (order[variable], node_id)
         if key in memo:
             return memo[key]
         total = 1.0
@@ -93,7 +94,9 @@ def explain(
             branch_sum = 0.0
             for target_id, reach in estimator.reach(node_id, child.edge).items():
                 target = synopsis.node(target_id)
-                sigma = node_selectivity(target, child.predicate)
+                sigma = node_selectivity(
+                    target, child.predicate, estimator.selectivity_cache
+                )
                 subtree = tuples(child, target_id)
                 explanation.branches.append(
                     BranchContribution(

@@ -89,6 +89,13 @@ class XClusterSynopsis:
         self.nodes: Dict[int, SynopsisNode] = {}
         self.root_id: Optional[int] = None
         self._next_id = 0
+        #: Structural-mutation counter.  Every operation that changes the
+        #: node or edge set bumps it, so derived caches (descendant
+        #: closures, transition tables in :mod:`repro.core.estimation`)
+        #: can detect staleness with one integer comparison.  Value-summary
+        #: replacement does not bump it: selectivity caches key on the
+        #: summary object itself and self-invalidate.
+        self.version = 0
 
     # -- construction -----------------------------------------------------
 
@@ -103,6 +110,7 @@ class XClusterSynopsis:
         node = SynopsisNode(self._next_id, label, value_type, count, vsumm)
         self.nodes[node.node_id] = node
         self._next_id += 1
+        self.version += 1
         return node
 
     def set_root(self, node: SynopsisNode) -> None:
@@ -121,6 +129,7 @@ class XClusterSynopsis:
             raise ValueError("edge counts must be positive")
         parent.children[child.node_id] = count
         child.parents.add(parent.node_id)
+        self.version += 1
 
     # -- inspection ---------------------------------------------------------
 
@@ -244,6 +253,7 @@ class XClusterSynopsis:
             self.root_id = w.node_id
         del self.nodes[u_id]
         del self.nodes[v_id]
+        self.version += 1
         return w
 
     # -- integrity ----------------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.estimator import XClusterEstimator
+from repro.core.estimation import WorkloadEstimator
 from repro.experiments.harness import ExperimentContext, SweepPoint
 from repro.workload import make_negative_workload
 from repro.workload.generator import QueryClass
@@ -109,10 +109,10 @@ def negative_workload_estimates(
         if fractions is not None
         else list(context.config.structural_fractions)
     )
+    workload_estimator = WorkloadEstimator([wq.query for wq in negative.queries])
     averages = []
     for fraction in fractions:
         synopsis = context.build_at_fraction(dataset_name, fraction)
-        estimator = XClusterEstimator(synopsis)
-        estimates = [estimator.estimate(wq.query) for wq in negative.queries]
+        estimates = workload_estimator.estimate_all(synopsis)
         averages.append(sum(estimates) / len(estimates) if estimates else 0.0)
     return averages

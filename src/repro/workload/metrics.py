@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.estimator import XClusterEstimator
+from repro.core.estimation import estimate_many
 from repro.core.synopsis import XClusterSynopsis
 from repro.workload.generator import QueryClass, Workload, WorkloadQuery
 
@@ -107,11 +107,15 @@ def evaluate_synopsis(
     synopsis: XClusterSynopsis,
     workload: Workload,
     bound: Optional[float] = None,
+    workers: int = 1,
 ) -> ErrorReport:
-    """Estimate every workload query on ``synopsis`` and score it."""
-    estimator = XClusterEstimator(synopsis)
-    pairs = [
-        (workload_query, estimator.estimate(workload_query.query))
-        for workload_query in workload.queries
-    ]
+    """Estimate every workload query on ``synopsis`` and score it.
+
+    Estimation runs on the compiled engine (:mod:`repro.core.estimation`);
+    ``workers > 1`` shards the workload over a process pool.
+    """
+    estimates = estimate_many(
+        synopsis, [wq.query for wq in workload.queries], workers=workers
+    )
+    pairs = list(zip(workload.queries, estimates))
     return evaluate_estimates(pairs, bound)
