@@ -26,6 +26,7 @@ from repro.core.scoring import ScoringEngine
 from repro.core.reference import LabelPath, build_reference_synopsis
 from repro.core.sizing import structural_size_bytes, value_size_bytes
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.values.kernels.queue import SummaryStepper, make_stepper
 from repro.values.summary import (
     HistogramSummary,
     StringSummary,
@@ -34,6 +35,14 @@ from repro.values.summary import (
     ValueSummary,
 )
 from repro.xmltree.tree import XMLTree
+
+#: Stepper family -> the BuildStats timer its advances accumulate into.
+_FAMILY_TIMERS = {
+    "hist_cmprs": "hist_cmprs_seconds",
+    "st_cmprs": "st_cmprs_seconds",
+    "tv_cmprs": "tv_cmprs_seconds",
+    "value_cmprs": "other_cmprs_seconds",
+}
 
 
 @dataclass
@@ -54,6 +63,11 @@ class BuildConfig:
             (the profile-backed engine, default) or ``"scalar"`` (the
             reference Δ implementation, kept for parity testing and
             benchmarking against the pre-optimization path).
+        value_engine: phase-2 compression execution — ``"kernel"``
+            (incremental per-node steppers backed by
+            :mod:`repro.values.kernels`, default) or ``"reference"``
+            (the scalar oracles re-run from scratch per step; same
+            decisions bit-for-bit, kept for parity and benchmarking).
         workers: processes for parallel pool construction; 1 (default)
             keeps pool builds serial.  Only the vectorized engine fans
             out; scalar scoring ignores this knob.
@@ -70,6 +84,7 @@ class BuildConfig:
     string_step: int = 8
     text_step: int = 4
     scoring: str = "vectorized"
+    value_engine: str = "kernel"
     workers: int = 1
     summary: SummaryConfig = field(default_factory=SummaryConfig)
 
@@ -112,6 +127,17 @@ class BuildStats:
     candidates_trimmed: int = 0
     #: Processes used for pool construction (1 = serial).
     workers_used: int = 1
+    #: Phase-2 compression engine actually used ("kernel"/"reference").
+    value_engine_used: str = "kernel"
+    #: Phase-2 wall-clock split: seconds inside compression advances,
+    #: per summary family, plus Δ evaluation of the resulting candidates.
+    hist_cmprs_seconds: float = 0.0
+    st_cmprs_seconds: float = 0.0
+    tv_cmprs_seconds: float = 0.0
+    other_cmprs_seconds: float = 0.0
+    value_delta_seconds: float = 0.0
+    #: Phase-2 heap pops discarded by lazy revalidation.
+    value_stale_pops: int = 0
 
     @property
     def selectivity_cache_hit_rate(self) -> float:
@@ -128,8 +154,15 @@ class BuildStats:
 
 @dataclass(order=True)
 class _ValueCandidate:
+    """One entry of the phase-2 lazy-revalidation priority queue.
+
+    Ordered by ``(marginal_loss, node_id)`` — the node id makes equal
+    losses pop in a canonical order, independent of heap history (and
+    therefore identical between the kernel and reference engines).
+    """
+
     marginal_loss: float
-    node_id: int = field(compare=False)
+    node_id: int
     #: The summary this candidate was computed against; the candidate is
     #: stale once the node carries a different object.
     source_summary: ValueSummary = field(compare=False)
@@ -147,6 +180,11 @@ class XClusterBuilder:
             raise ValueError(
                 f"unknown scoring mode {self.config.scoring!r}; "
                 "expected 'vectorized' or 'scalar'"
+            )
+        if self.config.value_engine not in ("kernel", "reference"):
+            raise ValueError(
+                f"unknown value engine {self.config.value_engine!r}; "
+                "expected 'kernel' or 'reference'"
             )
         self.stats = BuildStats()
         self._cache: SelectivityCache = {}
@@ -172,6 +210,7 @@ class XClusterBuilder:
         """
         self.stats = BuildStats(reference_nodes=len(synopsis))
         self.stats.workers_used = max(1, self.config.workers)
+        self.stats.value_engine_used = self.config.value_engine
         self._cache = {}
         self._engine = (
             ScoringEngine(synopsis, self.config.predicate_limit, self._cache)
@@ -341,23 +380,49 @@ class XClusterBuilder:
             return self.config.text_step
         return 1
 
-    def _value_candidate(self, node: SynopsisNode) -> Optional[_ValueCandidate]:
+    def _advance_stepper(
+        self, node: SynopsisNode, steppers: Dict[int, SummaryStepper]
+    ) -> Optional[ValueSummary]:
+        """One timed compression advance on the node's persistent stepper.
+
+        The stepper is lazily revalidated: if the node's summary is no
+        longer the one the stepper's state continues from (first visit,
+        or the summary was replaced outside the stepper's own chain), a
+        fresh stepper is created from the current summary.
+        """
+        summary = node.vsumm
+        stepper = steppers.get(node.node_id)
+        if stepper is None or stepper.expected is not summary:
+            stepper = make_stepper(summary, self.config.value_engine)
+            steppers[node.node_id] = stepper
+        started = perf_counter()
+        compressed = stepper.advance(self._compression_step(summary))
+        elapsed = perf_counter() - started
+        timer = _FAMILY_TIMERS.get(stepper.family, "other_cmprs_seconds")
+        setattr(self.stats, timer, getattr(self.stats, timer) + elapsed)
+        return compressed
+
+    def _value_candidate(
+        self, node: SynopsisNode, steppers: Dict[int, SummaryStepper]
+    ) -> Optional[_ValueCandidate]:
         summary = node.vsumm
         if summary is None or not summary.can_compress:
             return None
-        compressed = summary.compress(self._compression_step(summary))
+        compressed = self._advance_stepper(node, steppers)
         if compressed is None:
             return None
         saving = summary.size_bytes() - compressed.size_bytes()
         if saving <= 0:
             return None
         self.stats.scoring_calls += 1
+        started = perf_counter()
         if self._engine is not None:
             delta = self._engine.compression_delta(node, compressed)
         else:
             delta = compression_delta(
                 node, compressed, self.config.predicate_limit, self._cache
             )
+        self.stats.value_delta_seconds += perf_counter() - started
         return _ValueCandidate(
             marginal_loss=delta / saving,
             node_id=node.node_id,
@@ -372,9 +437,13 @@ class XClusterBuilder:
         value_size = value_size_bytes(synopsis)
         if value_size <= config.value_budget:
             return
+        #: node id -> the persistent compression stepper for its summary
+        #: chain (kernel engine: incremental heaps/orders carried across
+        #: successive steps on the same node).
+        steppers: Dict[int, SummaryStepper] = {}
         heap: List[_ValueCandidate] = []
         for node in synopsis.valued_nodes():
-            candidate = self._value_candidate(node)
+            candidate = self._value_candidate(node, steppers)
             if candidate is not None:
                 heap.append(candidate)
         heapq.heapify(heap)
@@ -382,11 +451,12 @@ class XClusterBuilder:
             candidate = heapq.heappop(heap)
             node = synopsis.nodes.get(candidate.node_id)
             if node is None or node.vsumm is not candidate.source_summary:
+                self.stats.value_stale_pops += 1
                 continue  # stale: node merged away or summary replaced
             node.vsumm = candidate.compressed
             value_size -= candidate.saving
             self.stats.value_steps_applied += 1
-            follow_up = self._value_candidate(node)
+            follow_up = self._value_candidate(node, steppers)
             if follow_up is not None:
                 heapq.heappush(heap, follow_up)
 

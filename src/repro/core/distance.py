@@ -64,10 +64,15 @@ def node_selectivity(
 
 
 def atomic_predicates_for(node: SynopsisNode, limit: int) -> List[Predicate]:
-    """The atomic predicates contributed by one node (paper Section 4.1)."""
+    """The atomic predicates contributed by one node (paper Section 4.1).
+
+    Served from the summary's canonical memo: summaries are immutable, so
+    repeated Δ evaluations against the same summary (every candidate the
+    node participates in) reuse one enumerated predicate set.
+    """
     predicates: List[Predicate] = [TruePredicate()]
     if node.vsumm is not None:
-        predicates.extend(node.vsumm.atomic_predicates(limit))
+        predicates.extend(node.vsumm.canonical_atomic_predicates(limit))
     return predicates
 
 
@@ -128,7 +133,7 @@ def compression_delta(
     """
     if node.vsumm is None:
         raise ValueError("compression_delta needs a node with a value summary")
-    predicates = node.vsumm.atomic_predicates(predicate_limit)
+    predicates = node.vsumm.canonical_atomic_predicates(predicate_limit)
     if node.children:
         squared_counts = sum(avg * avg for avg in node.children.values())
     else:

@@ -180,20 +180,25 @@ class ScoringEngine:
         pu = self.profile_for(u)
         pv = self.profile_for(v)
 
-        if u.children or v.children:
-            second_u = pu.child_sq
-            second_v = pv.child_sq
-            smaller, larger = u.children, v.children
-            if len(smaller) > len(larger):
-                smaller, larger = larger, smaller
-            cross = 0.0
-            for child_id, count in smaller.items():
-                other = larger.get(child_id)
-                if other is not None:
-                    cross += count * other
-        else:
-            # Leaf merge: atomic queries degenerate to u[p] with unit count.
-            second_u = second_v = cross = 1.0
+        if not u.children and not v.children:
+            # Leaf merge: the child sum degenerates to one virtual unit
+            # count.  The factored form would cancel (x − y)² through
+            # three nearly-equal products, turning exact-zero deltas into
+            # ±1-ulp noise — enough to reorder zero-loss candidates
+            # against the scalar engine — so leaves evaluate the scalar
+            # expression verbatim (it is O(1) per predicate anyway).
+            return self._leaf_merge_delta(u, v, pu, pv)
+
+        second_u = pu.child_sq
+        second_v = pv.child_sq
+        smaller, larger = u.children, v.children
+        if len(smaller) > len(larger):
+            smaller, larger = larger, smaller
+        cross = 0.0
+        for child_id, count in smaller.items():
+            other = larger.get(child_id)
+            if other is not None:
+                cross += count * other
 
         total = u.count + v.count
         u_share = u.count / total
@@ -239,6 +244,51 @@ class ScoringEngine:
             ) + v_count * (
                 s * s * second_v - 2.0 * s * t * cross + t * t * second_u
             )
+        # Δ is a non-negative quadratic form; the factored evaluation can
+        # round a few ulps below zero, which would outrank true zeros.
+        return delta if delta > 0.0 else 0.0
+
+    def _leaf_merge_delta(
+        self,
+        u: SynopsisNode,
+        v: SynopsisNode,
+        pu: SelectivityProfile,
+        pv: SelectivityProfile,
+    ) -> float:
+        """The scalar Δ expression, bit-for-bit, for a leaf merge."""
+        total = u.count + v.count
+        u_share = u.count / total
+        v_share = v.count / total
+        sigmas_u = pu.sigmas
+        sigmas_v = pv.sigmas
+        index_u = pu.index
+        index_v = pv.index
+        delta = 0.0
+        for position, predicate in enumerate(pu.predicates):
+            sigma_u = sigmas_u[position]
+            other = index_v.get(predicate)
+            sigma_v = (
+                sigmas_v[other] if other is not None else self._resolve(v, predicate)
+            )
+            sigma_w = u_share * sigma_u + v_share * sigma_v
+            count_w = u_share * 1.0 + v_share * 1.0
+            estimate_w = sigma_w * count_w
+            error_u = sigma_u * 1.0 - estimate_w
+            error_v = sigma_v * 1.0 - estimate_w
+            delta += u.count * error_u * error_u + v.count * error_v * error_v
+        for position, predicate in enumerate(pv.predicates):
+            if predicate in index_u:
+                continue  # already covered by u's side of the union
+            if index_v[predicate] != position:
+                continue  # duplicate within v's own predicate set
+            sigma_v = sigmas_v[position]
+            sigma_u = self._resolve(u, predicate)
+            sigma_w = u_share * sigma_u + v_share * sigma_v
+            count_w = u_share * 1.0 + v_share * 1.0
+            estimate_w = sigma_w * count_w
+            error_u = sigma_u * 1.0 - estimate_w
+            error_v = sigma_v * 1.0 - estimate_w
+            delta += u.count * error_u * error_u + v.count * error_v * error_v
         return delta
 
     def compression_delta(self, node: SynopsisNode, compressed) -> float:

@@ -13,6 +13,8 @@ The split into *structural* and *value* budgets follows the paper's
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.synopsis import XClusterSynopsis
 
 #: Bytes per synopsis node (label id + count + type tag).
@@ -29,6 +31,20 @@ def structural_size_bytes(synopsis: XClusterSynopsis) -> int:
 def value_size_bytes(synopsis: XClusterSynopsis) -> int:
     """Size of all value summaries."""
     return sum(node.vsumm.size_bytes() for node in synopsis.valued_nodes())
+
+
+def value_size_breakdown(synopsis: XClusterSynopsis) -> Dict[str, int]:
+    """Value-summary bytes per summary family.
+
+    Keys are lower-cased value-type names (``"numeric"``, ``"string"``,
+    ``"text"``); families absent from the synopsis are omitted.  Used by
+    the value-kernel benchmarks to report where the value budget went.
+    """
+    breakdown: Dict[str, int] = {}
+    for node in synopsis.valued_nodes():
+        family = node.value_type.name.lower()
+        breakdown[family] = breakdown.get(family, 0) + node.vsumm.size_bytes()
+    return breakdown
 
 
 def total_size_bytes(synopsis: XClusterSynopsis) -> int:

@@ -60,7 +60,7 @@ class HistogramBucket:
 class Histogram:
     """An immutable bucketed frequency distribution over integers."""
 
-    __slots__ = ("buckets", "total", "_cdf")
+    __slots__ = ("buckets", "total", "_cdf", "_boundaries")
 
     def __init__(self, buckets: Sequence[HistogramBucket]) -> None:
         previous_hi = None
@@ -72,6 +72,8 @@ class Histogram:
         self.total = sum(bucket.count for bucket in self.buckets)
         #: Lazily built (upper edges, cumulative counts) for CDF queries.
         self._cdf: Optional[Tuple[List[int], List[float]]] = None
+        #: Lazily built upper-edge list for atomic-predicate anchoring.
+        self._boundaries: Optional[Tuple[int, ...]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -200,9 +202,18 @@ class Histogram:
     def bucket_count(self) -> int:
         return len(self.buckets)
 
-    def boundaries(self) -> List[int]:
-        """All bucket upper edges (the atomic-predicate anchor points)."""
-        return [bucket.hi for bucket in self.buckets]
+    def boundaries(self) -> Tuple[int, ...]:
+        """All bucket upper edges (the atomic-predicate anchor points).
+
+        Cached on the instance (the histogram is immutable): the Δ metric
+        re-anchors atomic predicates on the same summary many times per
+        candidate-pool build.
+        """
+        cached = self._boundaries
+        if cached is None:
+            cached = tuple(bucket.hi for bucket in self.buckets)
+            self._boundaries = cached
+        return cached
 
     # -- fusion (bucket alignment + merge) ------------------------------------
 

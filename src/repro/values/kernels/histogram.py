@@ -1,0 +1,113 @@
+"""Histogram kernels: heap-driven ``hist_cmprs``.
+
+The reference :meth:`Histogram.compress` rescans every adjacent bucket
+pair (:meth:`Histogram.best_merge_index`) and rebuilds the full bucket
+tuple per merge — O(buckets) twice per step.
+:class:`HistogramCompressionKernel` replays the *exact* same greedy
+merge sequence from a priority queue over pair scores, maintained on a
+doubly linked list of live bucket slots: each merge pops the global
+minimum, splices out one slot, and rescores only the two pairs adjacent
+to the merged bucket (stale entries are skipped on pop via per-slot
+stamps).  Ties break toward the lower bucket index, matching the
+reference's first-minimum scan, and the score arithmetic is the
+reference expression verbatim, so decisions are bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.values.histogram import Histogram, HistogramBucket
+
+
+class HistogramCompressionKernel:
+    """Incremental ``hist_cmprs`` over one histogram's bucket chain."""
+
+    __slots__ = ("_buckets", "_next", "_prev", "_heap", "_entry", "_stamp", "_live")
+
+    def __init__(self, histogram: Histogram) -> None:
+        buckets = list(histogram.buckets)
+        size = len(buckets)
+        #: Slot -> live bucket (``None`` once merged away).
+        self._buckets: List[Optional[HistogramBucket]] = buckets
+        self._next = list(range(1, size)) + [-1] if size else []
+        self._prev = [-1] + list(range(size - 1)) if size else []
+        #: Entries: (score, left bucket lo, stamp, left slot).
+        self._heap: List[Tuple[float, int, int, int]] = []
+        #: Left slot -> stamp of its current (non-stale) entry.
+        self._entry: Dict[int, int] = {}
+        self._stamp = 0
+        self._live = size
+        for slot in range(size - 1):
+            self._push(slot)
+
+    def _push(self, left_slot: int) -> None:
+        """(Re)score the pair whose left bucket lives in ``left_slot``."""
+        right_slot = self._next[left_slot]
+        if right_slot < 0:
+            self._entry.pop(left_slot, None)
+            return
+        left = self._buckets[left_slot]
+        right = self._buckets[right_slot]
+        # Reference scoring expression, verbatim (bit-exact parity).
+        merged_width = right.hi - left.lo + 1
+        merged_count = left.count + right.count
+        merged_estimate = merged_count * (left.width / merged_width)
+        score = (left.count - merged_estimate) ** 2
+        self._stamp += 1
+        self._entry[left_slot] = self._stamp
+        heapq.heappush(self._heap, (score, left.lo, self._stamp, left_slot))
+
+    @property
+    def bucket_count(self) -> int:
+        return self._live
+
+    def merge(self, count: int) -> int:
+        """Apply up to ``count`` more pair merges; returns merges done."""
+        heap = self._heap
+        entries = self._entry
+        merged = 0
+        while merged < count and self._live > 1:
+            while heap:
+                _, _, stamp, left_slot = heap[0]
+                if entries.get(left_slot) == stamp:
+                    break
+                heapq.heappop(heap)
+            else:
+                break
+            heapq.heappop(heap)
+            right_slot = self._next[left_slot]
+            left = self._buckets[left_slot]
+            right = self._buckets[right_slot]
+            self._buckets[left_slot] = HistogramBucket(
+                left.lo, right.hi, left.count + right.count
+            )
+            self._buckets[right_slot] = None
+            entries.pop(right_slot, None)
+            after = self._next[right_slot]
+            self._next[left_slot] = after
+            if after >= 0:
+                self._prev[after] = left_slot
+            self._live -= 1
+            merged += 1
+            self._push(left_slot)
+            before = self._prev[left_slot]
+            if before >= 0:
+                self._push(before)
+        return merged
+
+    def snapshot(self) -> Histogram:
+        """The current bucket chain as an immutable histogram."""
+        return Histogram([bucket for bucket in self._buckets if bucket is not None])
+
+
+def compress_histogram(histogram: Histogram, buckets_to_remove: int = 1) -> Histogram:
+    """``hist_cmprs`` via the kernel — bit-exact with ``Histogram.compress``."""
+    if buckets_to_remove < 0:
+        raise ValueError("buckets_to_remove must be >= 0")
+    if buckets_to_remove == 0 or histogram.bucket_count < 2:
+        return histogram
+    kernel = HistogramCompressionKernel(histogram)
+    kernel.merge(buckets_to_remove)
+    return kernel.snapshot()

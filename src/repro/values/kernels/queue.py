@@ -1,0 +1,181 @@
+"""Per-node compression steppers for the builder's phase-2 queue.
+
+Phase 2 of XCLUSTERBUILD repeatedly applies the cheapest
+``hist_cmprs`` / ``st_cmprs`` / ``tv_cmprs`` step.  Ranking candidates
+requires *materializing* each node's next compressed summary, and after
+a step is applied the node needs a fresh follow-up candidate — which the
+pre-kernel builder produced by re-running the whole compression from the
+node's current summary (for PSTs: a full clone plus a from-scratch
+re-rank of every prunable leaf, per step).
+
+A :class:`SummaryStepper` owns the incremental kernel state for one
+node's summary chain, so the follow-up candidate costs one incremental
+advance (heap pops for PSTs and histograms, an order-slice for EBTHs)
+plus a snapshot.  Both engines are provided behind the same interface:
+
+* ``make_stepper(summary, "kernel")`` — the incremental kernels;
+* ``make_stepper(summary, "reference")`` — the scalar oracles
+  (``Histogram.compress``, :func:`prune_leaves_reference`,
+  ``EndBiasedTermHistogram.compress``), used for parity testing and as
+  the benchmark baseline.
+
+Every stepper records the summary object its state continues from in
+``expected``; the builder recreates the stepper whenever the node's
+summary was replaced by something else (lazy revalidation, the same
+stamp-and-check pattern as the candidate pool and the synopsis
+indexes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.values.kernels.ebth import EBTHCompressionKernel
+from repro.values.kernels.histogram import HistogramCompressionKernel
+from repro.values.kernels.pst import PSTPruneKernel, prune_leaves_reference
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    TextSummary,
+    ValueSummary,
+    _copy_pst,
+)
+
+
+class SummaryStepper:
+    """One node's compression chain: successive ``compress`` snapshots."""
+
+    #: Timer family the builder attributes this stepper's work to.
+    family = "value_cmprs"
+
+    def __init__(self, summary: ValueSummary) -> None:
+        #: The summary the next ``advance`` continues from.
+        self.expected: ValueSummary = summary
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        """The next summary ``amount`` steps smaller, or ``None``."""
+        raise NotImplementedError
+
+
+class GenericStepper(SummaryStepper):
+    """Fallback driving ``ValueSummary.compress`` (wavelets, extensions)."""
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        current = self.expected
+        if not current.can_compress:
+            return None
+        compressed = current.compress(amount)
+        if compressed is None:
+            return None
+        self.expected = compressed
+        return compressed
+
+
+class KernelHistogramStepper(SummaryStepper):
+    family = "hist_cmprs"
+
+    def __init__(self, summary: HistogramSummary) -> None:
+        super().__init__(summary)
+        self._kernel = HistogramCompressionKernel(summary.histogram)
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        if self._kernel.merge(amount) == 0:
+            return None
+        compressed = HistogramSummary(self._kernel.snapshot())
+        self.expected = compressed
+        return compressed
+
+
+class KernelPSTStepper(SummaryStepper):
+    family = "st_cmprs"
+
+    def __init__(self, summary: StringSummary) -> None:
+        super().__init__(summary)
+        self._working = _copy_pst(summary.pst)
+        self._kernel = PSTPruneKernel(self._working)
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        if self._kernel.prune(amount) == 0:
+            return None
+        compressed = StringSummary(_copy_pst(self._working))
+        self.expected = compressed
+        return compressed
+
+
+class KernelEBTHStepper(SummaryStepper):
+    family = "tv_cmprs"
+
+    def __init__(self, summary: TextSummary) -> None:
+        super().__init__(summary)
+        self._kernel = EBTHCompressionKernel(summary.ebth)
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        if self._kernel.demote(amount) == 0:
+            return None
+        compressed = TextSummary(self._kernel.snapshot())
+        self.expected = compressed
+        return compressed
+
+
+class ReferenceHistogramStepper(SummaryStepper):
+    family = "hist_cmprs"
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        current = self.expected
+        if not current.can_compress:
+            return None
+        compressed = HistogramSummary(current.histogram.compress(amount))
+        self.expected = compressed
+        return compressed
+
+
+class ReferencePSTStepper(SummaryStepper):
+    family = "st_cmprs"
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        current = self.expected
+        clone = _copy_pst(current.pst)
+        if prune_leaves_reference(clone, amount) == 0:
+            return None
+        compressed = StringSummary(clone)
+        self.expected = compressed
+        return compressed
+
+
+class ReferenceEBTHStepper(SummaryStepper):
+    family = "tv_cmprs"
+
+    def advance(self, amount: int) -> Optional[ValueSummary]:
+        current = self.expected
+        if not current.can_compress:
+            return None
+        compressed = TextSummary(current.ebth.compress(amount))
+        self.expected = compressed
+        return compressed
+
+
+def make_stepper(summary: ValueSummary, engine: str = "kernel") -> SummaryStepper:
+    """The stepper for one summary under the requested engine."""
+    if engine not in ("kernel", "reference"):
+        raise ValueError(
+            f"unknown value engine {engine!r}; expected 'kernel' or 'reference'"
+        )
+    if isinstance(summary, HistogramSummary):
+        return (
+            KernelHistogramStepper(summary)
+            if engine == "kernel"
+            else ReferenceHistogramStepper(summary)
+        )
+    if isinstance(summary, StringSummary):
+        return (
+            KernelPSTStepper(summary)
+            if engine == "kernel"
+            else ReferencePSTStepper(summary)
+        )
+    if isinstance(summary, TextSummary):
+        return (
+            KernelEBTHStepper(summary)
+            if engine == "kernel"
+            else ReferenceEBTHStepper(summary)
+        )
+    return GenericStepper(summary)

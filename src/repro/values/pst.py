@@ -24,6 +24,7 @@ remaining tree would produce for it.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Bytes per stored PST node: symbol (1) + count (4) + structure encoding (4).
@@ -115,12 +116,17 @@ class PrunedSuffixTree:
 
     def lookup(self, substring: str) -> Optional[int]:
         """The stored count of ``substring``, or ``None`` if not indexed."""
+        node = self._lookup_node(substring)
+        return None if node is None else node.count
+
+    def _lookup_node(self, substring: str) -> Optional[_Node]:
+        """The trie node indexing ``substring``, or ``None``."""
         node = self.root
         for char in substring:
             node = node.children.get(char)
             if node is None:
                 return None
-        return node.count
+        return node
 
     def _longest_match(self, text: str, start: int) -> int:
         """Length of the longest indexed substring starting at ``start``."""
@@ -200,13 +206,29 @@ class PrunedSuffixTree:
         """The count the tree would estimate for ``node``'s substring if
         the node were pruned: the first-order Markov combination of its
         parent and its longest proper suffix still in the tree."""
-        substring = node.substring()
+        return self._markov_estimate_details(node)[0]
+
+    def _markov_estimate_details(
+        self, node: _Node, substring: Optional[str] = None
+    ) -> Tuple[float, Optional[_Node]]:
+        """The post-prune Markov estimate and its structural dependency.
+
+        Returns ``(estimate, suffix_node)`` where ``suffix_node`` is the
+        conditioning-suffix node the estimate used, or ``None`` for the
+        symbol-frequency fallback.  During pruning only node *existence*
+        changes (counts are never touched and the depth-1 symbol layer
+        survives), so the estimate can only change when that one suffix
+        node is deleted — the fact the incremental ``st_cmprs`` kernel
+        keys its lazy invalidation on.
+        """
+        if substring is None:
+            substring = node.substring()
         parent_count = node.parent.count if node.parent is not None else self.string_count
         # Longest proper suffix of the substring that is still indexed
         # (excluding the node itself, which is about to go away).
         for start in range(1, len(substring)):
-            suffix_count = self.lookup(substring[start:])
-            if suffix_count is None:
+            suffix_node = self._lookup_node(substring[start:])
+            if suffix_node is None:
                 continue
             conditioning = (
                 self.lookup(substring[start:-1]) if len(substring) - start > 1 else None
@@ -214,17 +236,24 @@ class PrunedSuffixTree:
             if conditioning is None:
                 conditioning = self.string_count
             if conditioning:
-                return parent_count * (suffix_count / conditioning)
+                return parent_count * (suffix_node.count / conditioning), suffix_node
         # No usable suffix: fall back to the parent's count scaled by the
         # unconditional frequency of the final symbol.
         last_char = self.root.children.get(substring[-1])
         if last_char is None or self.string_count == 0:
-            return 0.0
-        return parent_count * (last_char.count / self.string_count)
+            return 0.0, None
+        return parent_count * (last_char.count / self.string_count), None
 
     def pruning_error(self, node: _Node) -> float:
         """|exact count − post-prune Markov estimate| for a leaf node."""
         return abs(node.count - self._markov_estimate_without(node))
+
+    def pruning_error_details(
+        self, node: _Node, substring: Optional[str] = None
+    ) -> Tuple[float, Optional[_Node]]:
+        """``pruning_error`` plus the suffix node the estimate depends on."""
+        estimate, used = self._markov_estimate_details(node, substring)
+        return abs(node.count - estimate), used
 
     def _iter_nodes(self) -> Iterator[_Node]:
         stack = list(self.root.children.values())
@@ -244,22 +273,24 @@ class PrunedSuffixTree:
 
     def prune_leaves(self, count: int) -> int:
         """``st_cmprs``: prune up to ``count`` leaves in increasing
-        pruning-error order.  Returns the number actually pruned."""
-        pruned = 0
-        while pruned < count:
-            leaves = self._prunable_leaves()
-            if not leaves:
-                break
-            ranked = sorted(
-                leaves, key=lambda node: (self.pruning_error(node), -node.count)
-            )
-            for node in ranked:
-                if pruned >= count:
-                    break
-                del node.parent.children[node.char]
-                self._node_count -= 1
-                pruned += 1
-        return pruned
+        pruning-error order, re-ranking after *every* deletion.
+
+        Each deletion removes the current global minimum by
+        ``(pruning error, -count, substring)`` — sibling errors and
+        newly-exposed leaves are re-ranked immediately, not at the next
+        batch boundary, so ``prune_leaves(a); prune_leaves(b)`` prunes
+        exactly the same leaves as ``prune_leaves(a + b)``.  Runs on the
+        incremental priority-queue kernel
+        (:class:`repro.values.kernels.pst.PSTPruneKernel`); the scalar
+        re-rank-per-deletion oracle is
+        :func:`repro.values.kernels.pst.prune_leaves_reference`.
+        Returns the number of leaves actually pruned.
+        """
+        if count <= 0:
+            return 0
+        from repro.values.kernels.pst import PSTPruneKernel
+
+        return PSTPruneKernel(self).prune(count)
 
     @property
     def can_prune(self) -> bool:
@@ -295,14 +326,31 @@ class PrunedSuffixTree:
     # -- enumeration and accounting ---------------------------------------------
 
     def substrings(self) -> Iterator[Tuple[str, int]]:
-        """All indexed substrings with their counts (arbitrary order)."""
-        for node in self._iter_nodes():
-            yield node.substring(), node.count
+        """All indexed substrings with their counts (arbitrary order).
+
+        The DFS carries the path prefix, so enumeration costs one string
+        concatenation per node instead of a root walk per node.
+        """
+        stack: List[Tuple[_Node, str]] = [
+            (child, char) for char, child in self.root.children.items()
+        ]
+        while stack:
+            node, substring = stack.pop()
+            yield substring, node.count
+            stack.extend(
+                (child, substring + char) for char, child in node.children.items()
+            )
 
     def top_substrings(self, limit: int) -> List[Tuple[str, int]]:
-        """The ``limit`` highest-count substrings (deterministic order)."""
-        ranked = sorted(self.substrings(), key=lambda item: (-item[1], item[0]))
-        return ranked[:limit]
+        """The ``limit`` highest-count substrings (deterministic order).
+
+        Heap-selected: O(n log limit) instead of the full O(n log n)
+        sort, with the order of ``sorted(..., key=(-count, substring))``
+        preserved exactly.
+        """
+        return heapq.nsmallest(
+            limit, self.substrings(), key=lambda item: (-item[1], item[0])
+        )
 
     def check_monotonicity(self) -> bool:
         """Verify the PST invariant count(child) <= count(parent)."""

@@ -19,6 +19,7 @@ what construction and estimation need:
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -32,6 +33,9 @@ from repro.query.predicates import (
 )
 from repro.values.ebth import EndBiasedTermHistogram
 from repro.values.histogram import Histogram
+from repro.values.kernels.ebth import fuse_ebth
+from repro.values.kernels.histogram import compress_histogram
+from repro.values.kernels.pst import fuse_psts
 from repro.values.pst import PrunedSuffixTree, _Node
 from repro.values.termvector import TermCentroid, Vocabulary
 from repro.values.wavelet import HaarWavelet
@@ -193,7 +197,7 @@ class HistogramSummary(ValueSummary):
     def compress(self, amount: int = 1) -> Optional["HistogramSummary"]:
         if not self.can_compress:
             return None
-        return HistogramSummary(self.histogram.compress(amount))
+        return HistogramSummary(compress_histogram(self.histogram, amount))
 
     def size_bytes(self) -> int:
         """Storage footprint (see :mod:`repro.values.histogram`)."""
@@ -344,20 +348,25 @@ class StringSummary(ValueSummary):
         Using only top-count substrings would make leaf pruning look free
         in the Δ metric (pruning damages *rare* substrings first), so the
         atomic set takes half from the top and half from the bottom of
-        the count ranking.
+        the count ranking.  Both ends are heap-selected (O(n log limit)),
+        preserving the full-sort order exactly — the ``(-count,
+        substring)`` key is unique per substring, so head and tail slices
+        are well defined without materializing the middle.
         """
-        ranked = sorted(self.pst.substrings(), key=lambda item: (-item[1], item[0]))
-        if len(ranked) <= limit:
-            chosen = ranked
+        items = list(self.pst.substrings())
+        key = lambda item: (-item[1], item[0])  # noqa: E731
+        if len(items) <= limit:
+            chosen = sorted(items, key=key)
         else:
             head = limit - limit // 2
-            chosen = ranked[:head] + ranked[-(limit // 2):]
+            chosen = heapq.nsmallest(head, items, key=key)
+            chosen.extend(reversed(heapq.nlargest(limit // 2, items, key=key)))
         return [SubstringPredicate(substring) for substring, _ in chosen]
 
     def fuse(self, other: "ValueSummary") -> "StringSummary":
         if not isinstance(other, StringSummary):
             raise TypeError("can only fuse STRING with STRING")
-        return StringSummary(self.pst.fuse(other.pst))
+        return StringSummary(fuse_psts(self.pst, other.pst))
 
     @property
     def can_compress(self) -> bool:
@@ -465,12 +474,12 @@ class TextSummary(ValueSummary):
         return distribution[threshold]
 
     def atomic_predicates(self, limit: int = 48) -> List[Predicate]:
-        ranked = sorted(
-            self.ebth.exact.items(), key=lambda item: (-item[1], item[0])
+        ranked = heapq.nsmallest(
+            limit, self.ebth.exact.items(), key=lambda item: (-item[1], item[0])
         )
         predicates = [
             KeywordPredicate([self.ebth.vocabulary.term_of(term_id)])
-            for term_id, _ in ranked[:limit]
+            for term_id, _ in ranked
         ]
         if len(predicates) < limit:
             # Include a few bucket terms so compression of the uniform
@@ -489,7 +498,7 @@ class TextSummary(ValueSummary):
     def fuse(self, other: "ValueSummary") -> "TextSummary":
         if not isinstance(other, TextSummary):
             raise TypeError("can only fuse TEXT with TEXT")
-        return TextSummary(self.ebth.fuse(other.ebth))
+        return TextSummary(fuse_ebth(self.ebth, other.ebth))
 
     @property
     def can_compress(self) -> bool:

@@ -14,6 +14,7 @@ rule of Section 4.1.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
 
 
@@ -110,9 +111,14 @@ class TermCentroid:
         return TermCentroid(weights, total)
 
     def top_terms(self, limit: int) -> List[Tuple[str, float]]:
-        """The ``limit`` highest-frequency terms, deterministic order."""
-        ranked = sorted(self.weights.items(), key=lambda item: (-item[1], item[0]))
-        return ranked[:limit]
+        """The ``limit`` highest-frequency terms, deterministic order.
+
+        Heap-selected (O(n log limit)); the ``(-weight, term)`` key is
+        unique per term, so the order matches the full sort exactly.
+        """
+        return heapq.nsmallest(
+            limit, self.weights.items(), key=lambda item: (-item[1], item[0])
+        )
 
     @property
     def term_count(self) -> int:
