@@ -39,6 +39,7 @@ from repro.core import (
     total_size_bytes,
     value_size_bytes,
 )
+from repro.check import audit_synopsis, run_differential_check
 from repro.query import evaluate_selectivity, parse_twig
 from repro.xmltree import XMLElement, XMLTree, parse_string
 
@@ -46,6 +47,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BuildConfig",
+    "audit_synopsis",
+    "run_differential_check",
     "CompiledEstimator",
     "WorkloadEstimator",
     "XClusterBuilder",

@@ -7,17 +7,22 @@ Subcommands::
     python -m repro estimate synopsis.json "//movie[./year >= 2000]/title"
     python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title"
     python -m repro experiments [--scale 0.25] [--queries 15]
+    python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
 and saves it; ``estimate`` loads a saved synopsis and prints the
 estimated selectivity of a twig query; ``evaluate`` prints the exact
 selectivity against the raw document; ``experiments`` regenerates every
-table and figure of the paper's evaluation section.
+table and figure of the paper's evaluation section; ``check`` runs the
+differential verification subsystem — the invariant auditor over a
+fresh (or saved) synopsis plus the seeded engine-parity fuzzer — and
+exits non-zero on any violation (see docs/TESTING.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core import (
@@ -136,6 +141,65 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Imported lazily: the check subsystem pulls in the harness stack.
+    import json as json_module
+
+    from repro.check import (
+        CheckReport,
+        DifferentialHarness,
+        HarnessConfig,
+        InvariantAuditor,
+    )
+
+    auditor = InvariantAuditor()
+    report = CheckReport(seed=args.seed)
+
+    if args.synopsis:
+        from repro.core.serialization import load_synopsis
+
+        synopsis = load_synopsis(args.synopsis, verify=False)
+        report.violations.extend(auditor.audit(synopsis))
+    else:
+        from repro.core.builder import build_xcluster
+        from repro.core.reference import build_reference_synopsis
+        from repro.core.sizing import structural_size_bytes, value_size_bytes
+        from repro.datasets import generate_xmark
+
+        dataset = generate_xmark(scale=args.scale, seed=7)
+        reference = build_reference_synopsis(
+            dataset.tree, dataset.value_paths
+        )
+        report.violations.extend(auditor.audit(reference))
+        synopsis = build_xcluster(
+            dataset.tree,
+            structural_budget=max(256, structural_size_bytes(reference) // 2),
+            value_budget=max(256, value_size_bytes(reference) // 2),
+            value_paths=dataset.value_paths,
+        )
+        report.violations.extend(auditor.audit(synopsis))
+
+    if not args.skip_fuzz:
+        harness = DifferentialHarness(
+            HarnessConfig(seed=args.seed, rounds=args.rounds)
+        )
+        report.extend(harness.run())
+
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
+def _default_rounds() -> int:
+    """Fuzz rounds: the ``REPRO_CHECK_ROUNDS`` env knob, default 3."""
+    try:
+        return max(0, int(os.environ.get("REPRO_CHECK_ROUNDS", "3")))
+    except ValueError:
+        return 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="XCluster synopses (ICDE 2006 reproduction)"
@@ -165,6 +229,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", type=float, default=0.25)
     experiments.add_argument("--queries", type=int, default=15)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    check = commands.add_parser(
+        "check",
+        help="audit synopsis invariants and fuzz engine parity",
+    )
+    check.add_argument(
+        "--rounds",
+        type=int,
+        default=_default_rounds(),
+        help="fuzz rounds (default: REPRO_CHECK_ROUNDS env var, else 3)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=20060402, help="master fuzz seed"
+    )
+    check.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="XMark scale for the fresh-synopsis audit",
+    )
+    check.add_argument(
+        "--synopsis",
+        help="audit a saved synopsis JSON instead of building one",
+    )
+    check.add_argument(
+        "--skip-fuzz",
+        action="store_true",
+        help="run only the invariant audit, no differential rounds",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    check.set_defaults(handler=_cmd_check)
     return parser
 
 

@@ -1,0 +1,452 @@
+"""The seeded engine-parity fuzzer.
+
+The codebase keeps two implementations of everything hot: scalar vs
+vectorized candidate scoring, reference vs kernel value compression,
+the scalar estimation oracle vs the compiled twig-plan engine.  The
+paper's fixtures exercise them on two dataset families; this harness
+exercises them on *arbitrary* documents, generated from a seed:
+
+1. generate a random document and derive its reference synopsis;
+2. **audit** the reference with the :class:`InvariantAuditor`;
+3. build the budgeted synopsis twice — once per engine stack — and
+   require identical shapes (node multiset + structural bytes);
+4. audit the compressed synopsis;
+5. generate a positive + negative twig workload and require the scalar
+   oracle and the compiled estimator to agree within ``tolerance``;
+6. round-trip the synopsis through serialization and require the
+   restored synopsis to reproduce every estimate.
+
+Every failure records the round seed — re-running the harness with
+``HarnessConfig(seed=<that seed>, rounds=1)`` reproduces it exactly —
+and is shrunk to a minimal counterexample before reporting (see
+:mod:`repro.check.shrink`).  Determinism is strict: all randomness
+flows from per-round ``random.Random`` instances; no global RNG state
+is touched.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.invariants import InvariantAuditor
+from repro.check.report import CheckReport, Failure
+from repro.check.shrink import shrink_document, shrink_query
+from repro.core.builder import BuildConfig, XClusterBuilder
+from repro.core.estimation import CompiledEstimator
+from repro.core.estimator import XClusterEstimator
+from repro.core.reference import build_reference_synopsis
+from repro.core.serialization import synopsis_from_dict, synopsis_to_dict
+from repro.core.sizing import structural_size_bytes, value_size_bytes
+from repro.core.synopsis import XClusterSynopsis
+from repro.datasets.dataset import Dataset
+from repro.query.ast import TwigQuery
+from repro.workload.generator import TwigWorkloadGenerator, WorkloadConfig
+from repro.workload.negative import make_negative_workload
+from repro.xmltree.serializer import serialize
+from repro.xmltree.tree import XMLElement, XMLTree
+from repro.xmltree.types import ValueType
+
+_SYLLABLES = (
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+    "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+    "ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+)
+
+_TERM_POOL = tuple(
+    first + second
+    for first in ("data", "meta", "node", "tree", "leaf", "path", "term", "word")
+    for second in ("alpha", "beta", "gamma", "delta", "omega", "sigma")
+)
+
+
+@dataclass
+class DocumentConfig:
+    """Shape knobs for generated documents.
+
+    Defaults keep documents small enough that a full round (two builds,
+    a workload, dozens of estimates) stays fast, yet deep and varied
+    enough to exercise merging, all three summary families, and both
+    axes.  The generated values are **round-trip safe**: serializing
+    the document and re-parsing it with ``text_word_threshold=2``
+    reconstructs identical labels, types, and values (STRING values are
+    single non-numeric words; TEXT values carry at least two terms).
+    """
+
+    min_elements: int = 30
+    max_elements: int = 120
+    max_depth: int = 6
+    max_children: int = 4
+    labels: Sequence[str] = ("item", "entry", "name", "info", "note", "mark")
+    value_probability: float = 0.75
+    numeric_high: int = 500
+    min_text_terms: int = 2
+    max_text_terms: int = 4
+
+
+class DocumentGenerator:
+    """Seeded random XML documents (see :class:`DocumentConfig`)."""
+
+    def __init__(self, config: Optional[DocumentConfig] = None) -> None:
+        self.config = config if config is not None else DocumentConfig()
+
+    def generate(self, rng: random.Random) -> XMLTree:
+        """One random document, fully determined by ``rng``'s state."""
+        config = self.config
+        # Each label carries one value type for the whole document, so
+        # per-path clusters look like real datasets (and the workload
+        # generator finds usable predicate pools).
+        label_types: Dict[str, ValueType] = {
+            label: rng.choice(
+                (ValueType.NUMERIC, ValueType.STRING, ValueType.TEXT)
+            )
+            for label in config.labels
+        }
+        target = rng.randint(config.min_elements, config.max_elements)
+        root = XMLElement("root")
+        produced = 1
+        frontier: List[Tuple[XMLElement, int]] = [(root, 0)]
+        while frontier and produced < target:
+            parent, depth = frontier.pop(rng.randrange(len(frontier)))
+            for _ in range(rng.randint(1, config.max_children)):
+                if produced >= target:
+                    break
+                label = rng.choice(config.labels)
+                child = parent.add(label)
+                produced += 1
+                if depth + 1 < config.max_depth and rng.random() < 0.7:
+                    frontier.append((child, depth + 1))
+                elif rng.random() < config.value_probability:
+                    child.set_value(self._value(label_types[child.label], rng))
+        return XMLTree(root)
+
+    def _value(self, value_type: ValueType, rng: random.Random):
+        config = self.config
+        if value_type is ValueType.NUMERIC:
+            return rng.randint(0, config.numeric_high)
+        if value_type is ValueType.STRING:
+            return "".join(
+                rng.choice(_SYLLABLES)
+                for _ in range(rng.randint(2, 4))
+            )
+        terms = rng.sample(
+            _TERM_POOL, rng.randint(config.min_text_terms, config.max_text_terms)
+        )
+        return frozenset(terms)
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs of one differential run.
+
+    Attributes:
+        seed: the master seed; every round seed derives from it, and
+            any failure is reproducible from its printed round seed via
+            ``HarnessConfig(seed=<round seed>, rounds=1)``.
+        rounds: number of independent fuzz rounds.
+        tolerance: maximum relative estimate divergence between the
+            scalar oracle and the compiled engine (parity is pinned at
+            1e-9 elsewhere in the test suite; keep them aligned).
+        structural_fraction: compressed structural budget as a fraction
+            of the reference synopsis's structural bytes.
+        value_fraction: same for the value budget.
+        queries_per_class: workload size per query class per round.
+        shrink: whether failing documents/queries are minimized.
+        shrink_attempts: predicate-evaluation budget per shrink.
+        audit_predicate_limit: atomic predicates probed per summary.
+        document: document-shape configuration.
+    """
+
+    seed: int = 20060402
+    rounds: int = 3
+    tolerance: float = 1e-9
+    structural_fraction: float = 0.6
+    value_fraction: float = 0.6
+    queries_per_class: int = 2
+    shrink: bool = True
+    shrink_attempts: int = 120
+    audit_predicate_limit: int = 8
+    document: DocumentConfig = field(default_factory=DocumentConfig)
+
+
+def _build_shape(synopsis: XClusterSynopsis) -> Tuple:
+    """The equivalence key for build parity (mirrors the benchmarks)."""
+    return (
+        len(synopsis),
+        structural_size_bytes(synopsis),
+        sorted(
+            (node.label, node.value_type.value, node.count) for node in synopsis
+        ),
+    )
+
+
+class DifferentialHarness:
+    """Runs seeded differential rounds and aggregates a report."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+        self.config = config if config is not None else HarnessConfig()
+        self.documents = DocumentGenerator(self.config.document)
+        self.auditor = InvariantAuditor(
+            predicate_limit=self.config.audit_predicate_limit
+        )
+
+    # -- entry points -------------------------------------------------------
+
+    def run(self) -> CheckReport:
+        """All configured rounds; every failure carries its round seed."""
+        master = random.Random(self.config.seed)
+        report = CheckReport(seed=self.config.seed)
+        for _ in range(self.config.rounds):
+            round_seed = master.randrange(2**32)
+            try:
+                report.extend(self.run_round(round_seed))
+            except Exception:  # noqa: BLE001 - a crash IS a finding
+                report.failures.append(
+                    Failure(
+                        kind="crash",
+                        seed=round_seed,
+                        message=traceback.format_exc(limit=6).strip(),
+                    )
+                )
+                report.rounds += 1
+        return report
+
+    def run_round(self, seed: int) -> CheckReport:
+        """One full differential round, reproducible from ``seed``."""
+        report = CheckReport(rounds=1)
+        rng = random.Random(seed)
+        document = self.documents.generate(rng)
+        dataset = Dataset("fuzz", document, document.value_paths())
+
+        reference = build_reference_synopsis(document, dataset.value_paths)
+        self._audit(reference, seed, "reference synopsis", document, report)
+
+        synopsis, divergence = self._build_pair(document, dataset.value_paths)
+        if divergence is not None:
+            report.failures.append(
+                self._shrunk_build_failure(seed, document, divergence)
+            )
+            return report  # downstream parity on a diverged build is noise
+        self._audit(synopsis, seed, "compressed synopsis", document, report)
+
+        queries = self._workload(dataset, rng)
+        report.queries_checked = len(queries)
+        oracle = XClusterEstimator(synopsis)
+        compiled = CompiledEstimator(synopsis)
+        baseline: List[float] = []
+        for query in queries:
+            expected = oracle.estimate(query)
+            baseline.append(expected)
+            actual = compiled.estimate(query)
+            if self._diverges(expected, actual):
+                report.failures.append(
+                    self._shrunk_estimate_failure(
+                        seed, document, synopsis, query, expected, actual
+                    )
+                )
+        for issue in compiled.index.invariant_issues():
+            report.failures.append(
+                Failure(
+                    kind="audit",
+                    seed=seed,
+                    message=f"synopsis index: {issue}",
+                    document_size=len(document),
+                )
+            )
+        report.failures.extend(
+            self._serialization_failures(seed, synopsis, queries, baseline)
+        )
+        return report
+
+    # -- stages ---------------------------------------------------------------
+
+    def _audit(
+        self,
+        synopsis: XClusterSynopsis,
+        seed: int,
+        stage: str,
+        document: XMLTree,
+        report: CheckReport,
+    ) -> None:
+        for violation in self.auditor.audit(synopsis):
+            report.failures.append(
+                Failure(
+                    kind="audit",
+                    seed=seed,
+                    message=f"{stage}: {violation}",
+                    document_size=len(document),
+                )
+            )
+
+    def _build_pair(
+        self, document: XMLTree, value_paths
+    ) -> Tuple[Optional[XClusterSynopsis], Optional[str]]:
+        """Both engine stacks' builds; (synopsis, None) on parity."""
+        reference = build_reference_synopsis(document, value_paths)
+        structural = max(
+            256,
+            int(structural_size_bytes(reference) * self.config.structural_fraction),
+        )
+        value = max(
+            256, int(value_size_bytes(reference) * self.config.value_fraction)
+        )
+        shapes = {}
+        synopsis = None
+        for scoring, value_engine in (
+            ("scalar", "reference"),
+            ("vectorized", "kernel"),
+        ):
+            config = BuildConfig(
+                structural_budget=structural,
+                value_budget=value,
+                scoring=scoring,
+                value_engine=value_engine,
+            )
+            built = XClusterBuilder(config).build(document, value_paths)
+            shapes[scoring] = _build_shape(built)
+            synopsis = built  # keep the optimized build for estimation
+        if shapes["scalar"] != shapes["vectorized"]:
+            return None, (
+                "scalar/reference and vectorized/kernel builds diverge: "
+                f"{shapes['scalar'][:2]} vs {shapes['vectorized'][:2]}"
+            )
+        return synopsis, None
+
+    def _workload(self, dataset: Dataset, rng: random.Random) -> List[TwigQuery]:
+        workload_seed = rng.randrange(2**32)
+        generator = TwigWorkloadGenerator(
+            dataset,
+            seed=workload_seed,
+            config=WorkloadConfig(
+                queries_per_class=self.config.queries_per_class,
+                max_attempts=20,
+                pool_size=16,
+            ),
+        )
+        positive = generator.generate()
+        negative = make_negative_workload(dataset, positive, seed=workload_seed)
+        return [wq.query for wq in positive.queries] + [
+            wq.query for wq in negative.queries
+        ]
+
+    def _diverges(self, expected: float, actual: float) -> bool:
+        scale = max(1.0, abs(expected))
+        return abs(expected - actual) > self.config.tolerance * scale
+
+    # -- failure construction (with shrinking) ----------------------------------
+
+    def _shrunk_build_failure(
+        self, seed: int, document: XMLTree, message: str
+    ) -> Failure:
+        failure = Failure(
+            kind="build-divergence",
+            seed=seed,
+            message=message,
+            document_size=len(document),
+        )
+        if not self.config.shrink:
+            return failure
+
+        def still_diverges(tree: XMLTree) -> bool:
+            if len(tree) < 2:
+                return False
+            try:
+                _, divergence = self._build_pair(tree, tree.value_paths())
+            except Exception:  # noqa: BLE001 - a crash still reproduces a bug
+                return True
+            return divergence is not None
+
+        shrunk = shrink_document(
+            document, still_diverges, max_attempts=self.config.shrink_attempts
+        )
+        failure.shrunk_size = len(shrunk)
+        failure.shrunk_document = serialize(shrunk)
+        return failure
+
+    def _shrunk_estimate_failure(
+        self,
+        seed: int,
+        document: XMLTree,
+        synopsis: XClusterSynopsis,
+        query: TwigQuery,
+        expected: float,
+        actual: float,
+    ) -> Failure:
+        failure = Failure(
+            kind="estimate-divergence",
+            seed=seed,
+            message=(
+                f"scalar oracle {expected!r} vs compiled engine {actual!r}"
+            ),
+            query=query.to_xpath(),
+            document_size=len(document),
+        )
+        if not self.config.shrink:
+            return failure
+
+        oracle = XClusterEstimator(synopsis)
+
+        def still_diverges(candidate: TwigQuery) -> bool:
+            try:
+                return self._diverges(
+                    oracle.estimate(candidate),
+                    CompiledEstimator(synopsis).estimate(candidate),
+                )
+            except Exception:  # noqa: BLE001
+                return True
+
+        shrunk = shrink_query(query, still_diverges)
+        failure.shrunk_query = shrunk.to_xpath()
+        return failure
+
+    def _serialization_failures(
+        self,
+        seed: int,
+        synopsis: XClusterSynopsis,
+        queries: List[TwigQuery],
+        baseline: List[float],
+    ) -> List[Failure]:
+        restored = synopsis_from_dict(synopsis_to_dict(synopsis))
+        failures: List[Failure] = []
+        violations = self.auditor.audit(restored)
+        for violation in violations:
+            failures.append(
+                Failure(
+                    kind="serialization-divergence",
+                    seed=seed,
+                    message=f"restored synopsis fails audit: {violation}",
+                )
+            )
+        oracle = XClusterEstimator(restored)
+        for query, expected in zip(queries, baseline):
+            actual = oracle.estimate(query)
+            if self._diverges(expected, actual):
+                failures.append(
+                    Failure(
+                        kind="serialization-divergence",
+                        seed=seed,
+                        message=(
+                            f"estimate {expected!r} became {actual!r} after "
+                            "a serialization round-trip"
+                        ),
+                        query=query.to_xpath(),
+                    )
+                )
+        return failures
+
+
+def run_differential_check(
+    seed: int = 20060402,
+    rounds: int = 3,
+    config: Optional[HarnessConfig] = None,
+) -> CheckReport:
+    """Convenience wrapper: run the harness with default settings."""
+    if config is None:
+        config = HarnessConfig(seed=seed, rounds=rounds)
+    else:
+        config = replace(config, seed=seed, rounds=rounds)
+    return DifferentialHarness(config).run()

@@ -1,0 +1,184 @@
+"""Counterexample shrinking for the differential harness.
+
+A fuzzer that reports a 400-element document is a fuzzer nobody debugs.
+Before reporting a failure, the harness greedily minimizes it with the
+classic delta-debugging moves, re-running the failure predicate after
+every candidate edit and keeping only edits that preserve the failure:
+
+* **subtree removal** — try deleting each child subtree, largest first
+  (one removal can discharge hundreds of elements);
+* **value removal** — try clearing element values, which removes value
+  summaries and isolates structure-only failures.
+
+Both passes operate on deep copies; the original document is never
+mutated.  The result is guaranteed to be no larger than the input and
+to still satisfy the failure predicate — greedy local minimality, not
+global, which is the standard (and sufficient) contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.query.ast import QueryNode, TwigQuery
+from repro.query.predicates import TruePredicate
+from repro.xmltree.tree import XMLElement, XMLTree
+
+#: Failure predicate: True means "this input still fails".
+FailsFn = Callable[[XMLTree], bool]
+
+
+def copy_tree(tree: XMLTree) -> XMLTree:
+    """A deep structural copy (values are immutable, shared by reference)."""
+    return XMLTree(_copy_element(tree.root))
+
+
+def _copy_element(element: XMLElement) -> XMLElement:
+    copied = XMLElement(element.label, element.value)
+    stack = [(element, copied)]
+    while stack:
+        source, target = stack.pop()
+        for child in source.children:
+            replica = XMLElement(child.label, child.value)
+            target.append_child(replica)
+            stack.append((child, replica))
+    return copied
+
+
+def shrink_document(
+    tree: XMLTree,
+    fails: FailsFn,
+    max_attempts: int = 400,
+) -> XMLTree:
+    """Greedily minimize a failing document.
+
+    Args:
+        tree: the failing document (left untouched).
+        fails: predicate re-running the check; must be True for ``tree``.
+        max_attempts: cap on predicate evaluations (each may rebuild a
+            synopsis, so shrinking is budgeted, not exhaustive).
+
+    Returns:
+        A document no larger than ``tree`` for which ``fails`` still
+        holds.  If no smaller failing document is found within budget,
+        a copy of the input is returned unchanged.
+    """
+    current = copy_tree(tree)
+    attempts = 0
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        # Pass 1: subtree removal, largest subtrees first.
+        candidates = sorted(
+            (
+                (parent, index)
+                for parent in current
+                for index in range(len(parent.children))
+            ),
+            key=lambda item: -item[0].children[item[1]].subtree_size(),
+        )
+        for parent, index in candidates:
+            if attempts >= max_attempts:
+                break
+            if index >= len(parent.children):
+                continue  # earlier removal this sweep shifted siblings
+            removed = parent.children.pop(index)
+            removed.parent = None
+            attempts += 1
+            if fails(current):
+                changed = True
+            else:
+                removed.parent = parent
+                parent.children.insert(index, removed)
+        # Pass 2: value removal on what remains.
+        for element in list(current):
+            if attempts >= max_attempts:
+                break
+            if element.value is None:
+                continue
+            saved = element.value
+            element.set_value(None)
+            attempts += 1
+            if fails(current):
+                changed = True
+            else:
+                element.set_value(saved)
+    return current
+
+
+def copy_query(query: TwigQuery) -> TwigQuery:
+    """A deep copy of a twig (edges and predicates shared, they are frozen)."""
+    return TwigQuery(_copy_query_node(query.root))
+
+
+def _copy_query_node(node: QueryNode) -> QueryNode:
+    replica = QueryNode(node.name, node.edge, node.predicate)
+    for child in node.children:
+        replica.children.append(_copy_query_node(child))
+    return replica
+
+
+def shrink_query(
+    query: TwigQuery,
+    fails: Callable[[TwigQuery], bool],
+) -> TwigQuery:
+    """Minimize a failing twig query by dropping branches and predicates.
+
+    Tries removing each query-variable subtree (largest first) and
+    weakening value predicates to ``TruePredicate``, keeping edits that
+    preserve the failure.  Never reduces the twig to the bare virtual
+    root.  Returns the input query if nothing smaller fails.
+    """
+    current = copy_query(query)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _query_reductions(current):
+            if fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _query_reductions(query: TwigQuery) -> List[TwigQuery]:
+    """All single-step reductions of a query, biggest cuts first."""
+    reductions: List[tuple] = []
+    for path in _child_paths(query.root, ()):
+        if len(path) == 1 and len(query.root.children) == 1:
+            continue  # never produce the bare virtual root
+        replica = copy_query(query)
+        parent = _node_at(replica.root, path[:-1])
+        removed = parent.children.pop(path[-1])
+        reductions.append((sum(1 for _ in removed.iter()), replica))
+    for path in _predicated_paths(query.root, ()):
+        replica = copy_query(query)
+        _node_at(replica.root, path).predicate = TruePredicate()
+        reductions.append((0.5, replica))
+    reductions.sort(key=lambda item: -item[0])
+    return [replica for _, replica in reductions]
+
+
+def _child_paths(node: QueryNode, prefix: tuple) -> List[tuple]:
+    paths = []
+    for index, child in enumerate(node.children):
+        path = prefix + (index,)
+        paths.append(path)
+        paths.extend(_child_paths(child, path))
+    return paths
+
+
+def _predicated_paths(node: QueryNode, prefix: tuple) -> List[tuple]:
+    paths = []
+    if node.has_value_predicate:
+        paths.append(prefix)
+    for index, child in enumerate(node.children):
+        paths.extend(_predicated_paths(child, prefix + (index,)))
+    return paths
+
+
+def _node_at(root: QueryNode, path: tuple) -> QueryNode:
+    node = root
+    for index in path:
+        node = node.children[index]
+    return node

@@ -37,6 +37,13 @@ from repro.values.summary import (
 from repro.xmltree.tree import XMLTree
 
 #: Stepper family -> the BuildStats timer its advances accumulate into.
+def _profile_violation(message: str):
+    """Wrap a scoring-engine staleness finding as a check Violation."""
+    from repro.check.invariants import Violation
+
+    return Violation("scoring-profile", message)
+
+
 _FAMILY_TIMERS = {
     "hist_cmprs": "hist_cmprs_seconds",
     "st_cmprs": "st_cmprs_seconds",
@@ -71,6 +78,10 @@ class BuildConfig:
         workers: processes for parallel pool construction; 1 (default)
             keeps pool builds serial.  Only the vectorized engine fans
             out; scalar scoring ignores this knob.
+        audit: run the :mod:`repro.check` invariant auditor on the
+            compressed synopsis; violations land in
+            :attr:`BuildStats.audit_violations`.  Off by default (it
+            adds a full synopsis walk per build).
         summary: construction knobs for the detailed reference summaries.
     """
 
@@ -86,6 +97,7 @@ class BuildConfig:
     scoring: str = "vectorized"
     value_engine: str = "kernel"
     workers: int = 1
+    audit: bool = False
     summary: SummaryConfig = field(default_factory=SummaryConfig)
 
 
@@ -138,6 +150,10 @@ class BuildStats:
     value_delta_seconds: float = 0.0
     #: Phase-2 heap pops discarded by lazy revalidation.
     value_stale_pops: int = 0
+    #: Invariant violations found by the post-build audit (only
+    #: populated when :attr:`BuildConfig.audit` is on; each entry is a
+    #: ``repro.check.invariants.Violation``).
+    audit_violations: list = field(default_factory=list)
 
     @property
     def selectivity_cache_hit_rate(self) -> float:
@@ -237,6 +253,19 @@ class XClusterBuilder:
             self.stats.final_value_bytes <= self.config.value_budget
         )
         self.stats.final_nodes = len(synopsis)
+        if self.config.audit:
+            # Imported lazily: repro.check depends on this module.
+            from repro.check.invariants import InvariantAuditor
+
+            auditor = InvariantAuditor(
+                predicate_limit=self.config.predicate_limit
+            )
+            self.stats.audit_violations = auditor.audit(synopsis)
+            if self._engine is not None:
+                self.stats.audit_violations.extend(
+                    _profile_violation(message)
+                    for message in self._engine.audit_profiles()
+                )
         return synopsis
 
     # -- phase 1: structure-value merge ------------------------------------------

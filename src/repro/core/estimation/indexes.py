@@ -92,6 +92,64 @@ class SynopsisIndex:
         self.invalidations += 1
         return True
 
+    def invariant_issues(self) -> list:
+        """Staleness issues with the cached tables (empty = healthy).
+
+        The index's correctness rests on two properties that a missed
+        ``ensure_current`` call would silently break: the recorded
+        version matches the synopsis, and every node id appearing in a
+        cached table still exists.  The differential harness calls this
+        after serving a workload to assert the version-checked
+        invalidation protocol held.
+        """
+        # Imported here: indexes.py must not import the engine module
+        # (engine imports indexes).
+        from repro.core.estimator import VIRTUAL_ROOT
+
+        issues = []
+        if self._version != self.synopsis.version:
+            issues.append(
+                f"index version {self._version} behind synopsis version "
+                f"{self.synopsis.version} (ensure_current not called)"
+            )
+        nodes = self.synopsis.nodes
+        for source_id, _label in self.child_rows:
+            if source_id == VIRTUAL_ROOT:
+                continue  # the estimators' virtual document root
+            if source_id not in nodes:
+                issues.append(
+                    f"child-axis row cached for missing node {source_id}"
+                )
+        for source_id, _label, _limit in self.descendant_rows:
+            if source_id == VIRTUAL_ROOT:
+                continue
+            if source_id not in nodes:
+                issues.append(
+                    f"descendant-axis row cached for missing node {source_id}"
+                )
+        for (source_id, _limit), closure in self.descendant_closures.items():
+            if source_id == VIRTUAL_ROOT:
+                continue
+            if source_id not in nodes:
+                issues.append(
+                    f"descendant closure cached for missing node {source_id}"
+                )
+                continue
+            for target_id in closure:
+                if target_id not in nodes:
+                    issues.append(
+                        f"descendant closure of node {source_id} reaches "
+                        f"missing node {target_id}"
+                    )
+        if self._label_sets is not None:
+            for label, members in self._label_sets.items():
+                for node_id in members:
+                    if node_id not in nodes:
+                        issues.append(
+                            f"label index {label!r} lists missing node {node_id}"
+                        )
+        return issues
+
     def label_set(self, label: str) -> FrozenSet[int]:
         """The ids of every cluster carrying ``label`` (the label index)."""
         table = self._label_sets

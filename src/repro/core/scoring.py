@@ -173,6 +173,35 @@ class ScoringEngine:
         for node_id in node_ids:
             self.profiles.pop(node_id, None)
 
+    def audit_profiles(self) -> List[str]:
+        """Issues with cached profiles (empty = healthy).
+
+        The engine relies on callers invalidating nodes whose local
+        neighborhood changed; a missed invalidation silently serves a
+        stale ``child_sq`` moment (value-summary staleness is caught by
+        object identity, but edge churn is not).  This hook re-derives
+        every cached moment from the live synopsis so the differential
+        harness can assert the lazy-invalidation protocol held after a
+        build.
+        """
+        issues: List[str] = []
+        for node_id, profile in self.profiles.items():
+            node = self.synopsis.nodes.get(node_id)
+            if node is None:
+                continue  # merged away; served never, reaped lazily
+            if profile.vsumm is not node.vsumm:
+                continue  # identity-stale; profile_for would rebuild it
+            actual = 0.0
+            for count in node.children.values():
+                actual += count * count
+            if actual != profile.child_sq:
+                issues.append(
+                    f"profile of node {node_id} caches child moment "
+                    f"{profile.child_sq!r} but the synopsis has {actual!r} "
+                    "(missed invalidation)"
+                )
+        return issues
+
     # -- the Δ metric, vectorized ----------------------------------------------
 
     def merge_delta(self, u: SynopsisNode, v: SynopsisNode) -> float:

@@ -216,8 +216,18 @@ def _find_vocabulary(synopsis: XClusterSynopsis) -> Optional[Vocabulary]:
     return None
 
 
-def synopsis_from_dict(data: Dict[str, Any]) -> XClusterSynopsis:
-    """Rebuild a synopsis previously encoded by :func:`synopsis_to_dict`."""
+def synopsis_from_dict(
+    data: Dict[str, Any], verify: bool = True
+) -> XClusterSynopsis:
+    """Rebuild a synopsis previously encoded by :func:`synopsis_to_dict`.
+
+    Args:
+        data: the encoded synopsis.
+        verify: validate graph invariants after decoding (default).
+            Pass ``False`` to load a suspect synopsis *without* raising,
+            e.g. so ``python -m repro check`` can hand it to the
+            invariant auditor and report every breach structurally.
+    """
     if data.get("format") != FORMAT_VERSION:
         raise SynopsisFormatError(
             f"unsupported format version {data.get('format')!r}"
@@ -257,7 +267,8 @@ def synopsis_from_dict(data: Dict[str, Any]) -> XClusterSynopsis:
         if int(root_id) not in nodes_by_id:
             raise SynopsisFormatError(f"root id {root_id} missing")
         synopsis.root_id = int(root_id)
-    synopsis.validate()
+    if verify:
+        synopsis.validate()
     return synopsis
 
 
@@ -267,7 +278,10 @@ def save_synopsis(synopsis: XClusterSynopsis, path: str) -> None:
         json.dump(synopsis_to_dict(synopsis), handle)
 
 
-def load_synopsis(path: str) -> XClusterSynopsis:
-    """Read a synopsis from a JSON file written by :func:`save_synopsis`."""
+def load_synopsis(path: str, verify: bool = True) -> XClusterSynopsis:
+    """Read a synopsis from a JSON file written by :func:`save_synopsis`.
+
+    ``verify=False`` skips graph validation (see :func:`synopsis_from_dict`).
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return synopsis_from_dict(json.load(handle))
+        return synopsis_from_dict(json.load(handle), verify=verify)

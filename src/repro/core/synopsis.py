@@ -258,39 +258,58 @@ class XClusterSynopsis:
 
     # -- integrity ----------------------------------------------------------------
 
+    def iter_integrity_issues(self) -> Iterator[Tuple[str, Optional[int]]]:
+        """Yield ``(message, node_id)`` for every graph-invariant breach.
+
+        Checks edge symmetry, positive counts, and root referential
+        integrity.  This is the introspection hook behind both
+        :meth:`validate` (which raises on the first issue) and the
+        :class:`repro.check.invariants.InvariantAuditor` (which collects
+        every issue as a structured ``Violation``).
+        """
+        if self.root_id is not None and self.root_id not in self.nodes:
+            yield ("root id does not reference a node", self.root_id)
+        for node in self.nodes.values():
+            if node.count <= 0:
+                yield (f"node {node.node_id} has non-positive count", node.node_id)
+            for child_id, avg in node.children.items():
+                if child_id not in self.nodes:
+                    yield (
+                        f"edge {node.node_id}->{child_id} points at a missing node",
+                        node.node_id,
+                    )
+                    continue
+                if avg <= 0:
+                    yield (
+                        f"edge {node.node_id}->{child_id} has non-positive count",
+                        node.node_id,
+                    )
+                if node.node_id not in self.nodes[child_id].parents:
+                    yield (
+                        f"edge {node.node_id}->{child_id} missing reverse link",
+                        node.node_id,
+                    )
+            for parent_id in node.parents:
+                if parent_id not in self.nodes:
+                    yield (
+                        f"node {node.node_id} lists a missing parent {parent_id}",
+                        node.node_id,
+                    )
+                    continue
+                if node.node_id not in self.nodes[parent_id].children:
+                    yield (
+                        f"parent link {parent_id}->{node.node_id} has no forward edge",
+                        node.node_id,
+                    )
+
     def validate(self) -> None:
         """Check graph invariants (edge symmetry, positive counts, root).
 
         Raises:
-            ValueError: on any inconsistency.
+            ValueError: on the first inconsistency found.
         """
-        if self.root_id is not None and self.root_id not in self.nodes:
-            raise ValueError("root id does not reference a node")
-        for node in self.nodes.values():
-            if node.count <= 0:
-                raise ValueError(f"node {node.node_id} has non-positive count")
-            for child_id, avg in node.children.items():
-                if child_id not in self.nodes:
-                    raise ValueError(
-                        f"edge {node.node_id}->{child_id} points at a missing node"
-                    )
-                if avg <= 0:
-                    raise ValueError(
-                        f"edge {node.node_id}->{child_id} has non-positive count"
-                    )
-                if node.node_id not in self.nodes[child_id].parents:
-                    raise ValueError(
-                        f"edge {node.node_id}->{child_id} missing reverse link"
-                    )
-            for parent_id in node.parents:
-                if parent_id not in self.nodes:
-                    raise ValueError(
-                        f"node {node.node_id} lists a missing parent {parent_id}"
-                    )
-                if node.node_id not in self.nodes[parent_id].children:
-                    raise ValueError(
-                        f"parent link {parent_id}->{node.node_id} has no forward edge"
-                    )
+        for message, _ in self.iter_integrity_issues():
+            raise ValueError(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<XClusterSynopsis nodes={len(self.nodes)} edges={self.edge_count}>"

@@ -225,6 +225,56 @@ class EndBiasedTermHistogram:
             self.vocabulary, exact, union, average, len(rest), total
         )
 
+    # -- integrity ---------------------------------------------------------------------
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        """Structural issues of the end-biased encoding (empty = healthy).
+
+        The machine-checkable form of the summary's design contract:
+
+        * **exact/bucket disjointness** — every exactly-indexed term has
+          its bitmap bit set, and the uniform bucket covers exactly the
+          remaining set bits (``bucket_member_count`` consistency);
+        * **end-biased ordering** — the exact part holds the *top*
+          frequencies, so no exact frequency may fall below the uniform
+          bucket average (``from_centroid``, ``fuse``, and ``compress``
+          all preserve this);
+        * frequencies are fractions in ``[0, 1]``, the bucket average is
+          non-negative, and the text count is non-negative;
+        * the underlying run-length bitmap is well-formed.
+        """
+        issues: List[str] = []
+        for term_id, frequency in self.exact.items():
+            if term_id not in self.bitmap:
+                issues.append(
+                    f"exact term {term_id} has no bitmap bit (exact/bucket overlap)"
+                )
+            if frequency < -tolerance or frequency > 1.0 + tolerance:
+                issues.append(
+                    f"exact term {term_id} frequency {frequency!r} outside [0, 1]"
+                )
+        expected_members = len(self.bitmap) - len(self.exact)
+        if self.bucket_member_count != expected_members:
+            issues.append(
+                f"bucket member count {self.bucket_member_count} != "
+                f"{expected_members} non-exact set bits"
+            )
+        if self.bucket_average < -tolerance or self.bucket_average > 1.0 + tolerance:
+            issues.append(
+                f"bucket average {self.bucket_average!r} outside [0, 1]"
+            )
+        if self.bucket_member_count > 0 and self.exact:
+            floor = min(self.exact.values())
+            if floor < self.bucket_average - tolerance:
+                issues.append(
+                    f"exact frequency {floor!r} below the bucket average "
+                    f"{self.bucket_average!r} (end-biased ordering)"
+                )
+        if self.count < 0:
+            issues.append(f"text count {self.count} is negative")
+        issues.extend(self.bitmap.invariant_issues())
+        return issues
+
     # -- accounting --------------------------------------------------------------------
 
     def size_bytes(self) -> int:

@@ -317,6 +317,58 @@ class Histogram:
             histogram = histogram.merge_adjacent(histogram.best_merge_index())
         return histogram
 
+    # -- integrity -------------------------------------------------------------
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        """Structural issues of the bucket encoding (empty = healthy).
+
+        Re-derives, from the stored state, the equi-depth bucket
+        invariants the constructor enforces plus the consistency of the
+        lazily built CDF and boundary caches with the buckets:
+
+        * buckets sorted, disjoint, with ``lo <= hi`` and counts >= 0;
+        * ``total`` equals the bucket-count sum;
+        * the cached CDF is monotone non-decreasing and sums to ``total``;
+        * the cached boundary tuple matches the bucket upper edges;
+        * full-domain selectivity is 1 for non-empty histograms.
+        """
+        issues: List[str] = []
+        previous_hi = None
+        for position, bucket in enumerate(self.buckets):
+            if bucket.lo > bucket.hi:
+                issues.append(f"bucket {position} range [{bucket.lo}, {bucket.hi}] inverted")
+            if bucket.count < 0:
+                issues.append(f"bucket {position} has negative count {bucket.count!r}")
+            if previous_hi is not None and bucket.lo <= previous_hi:
+                issues.append(
+                    f"bucket {position} starting at {bucket.lo} overlaps the "
+                    f"previous bucket ending at {previous_hi}"
+                )
+            previous_hi = bucket.hi
+        actual_total = sum(bucket.count for bucket in self.buckets)
+        scale = max(1.0, abs(actual_total))
+        if abs(self.total - actual_total) > tolerance * scale:
+            issues.append(f"total {self.total!r} != bucket sum {actual_total!r}")
+        if self._cdf is not None:
+            upper_edges, cumulative = self._cdf
+            if upper_edges != [bucket.hi for bucket in self.buckets]:
+                issues.append("cached CDF edges diverged from bucket upper edges")
+            if any(b < a - tolerance * scale for a, b in zip(cumulative, cumulative[1:])):
+                issues.append("cached CDF is not monotone non-decreasing")
+            if cumulative and abs(cumulative[-1] - actual_total) > tolerance * scale:
+                issues.append(
+                    f"cached CDF total {cumulative[-1]!r} != bucket sum {actual_total!r}"
+                )
+        if self._boundaries is not None and self._boundaries != tuple(
+            bucket.hi for bucket in self.buckets
+        ):
+            issues.append("cached boundary tuple diverged from bucket upper edges")
+        if self.buckets and actual_total > 0:
+            full = self.selectivity(*self.domain)
+            if abs(full - 1.0) > tolerance:
+                issues.append(f"full-domain selectivity {full!r} != 1")
+        return issues
+
     # -- accounting ------------------------------------------------------------
 
     def size_bytes(self) -> int:

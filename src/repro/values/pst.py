@@ -362,6 +362,56 @@ class PrunedSuffixTree:
                 return False
         return True
 
+    def invariant_issues(self) -> List[str]:
+        """Structural issues of the trie (empty = healthy).
+
+        The machine-checkable form of the paper's PST constraints:
+
+        * the *pruning monotonicity constraint*: a string containing
+          ``sc`` necessarily contains ``s``, so every node's document
+          frequency is bounded by its parent's (and by the string count
+          at depth 1);
+        * counts are positive (a zero-count node should have been pruned,
+          and fusion/pruning never create one);
+        * no path exceeds ``max_depth``;
+        * the cached ``_node_count`` matches the actual trie size.
+        """
+        issues: List[str] = []
+        actual_nodes = 0
+        stack: List[Tuple[_Node, str, int]] = [
+            (child, char, 1) for char, child in self.root.children.items()
+        ]
+        while stack:
+            node, substring, depth = stack.pop()
+            actual_nodes += 1
+            parent_count = (
+                node.parent.count if node.parent is not self.root else self.root.count
+            )
+            if node.count > parent_count:
+                issues.append(
+                    f"substring {substring!r} count {node.count} exceeds its "
+                    f"parent's count {parent_count} (monotonicity)"
+                )
+            if node.count <= 0:
+                issues.append(
+                    f"substring {substring!r} has non-positive count {node.count}"
+                )
+            if depth > self.max_depth:
+                issues.append(
+                    f"substring {substring!r} exceeds max_depth {self.max_depth}"
+                )
+            stack.extend(
+                (child, substring + char, depth + 1)
+                for char, child in node.children.items()
+            )
+        if actual_nodes != self._node_count:
+            issues.append(
+                f"cached node count {self._node_count} != {actual_nodes} trie nodes"
+            )
+        if self.root.count < 0:
+            issues.append(f"string count {self.root.count} is negative")
+        return issues
+
     def size_bytes(self) -> int:
         """Storage footprint: 9 bytes per trie node."""
         return NODE_BYTES * self._node_count

@@ -84,6 +84,34 @@ class RunLengthBitmap:
                 result.append((start, end))
         return RunLengthBitmap(result)
 
+    def invariant_issues(self) -> List[str]:
+        """Well-formedness issues of the run encoding (empty = healthy).
+
+        The constructor enforces these for freshly built bitmaps; the
+        hook re-derives them from the stored state so the invariant
+        auditor can catch corruption introduced after construction
+        (deserialization bugs, direct mutation of ``_runs``).
+        """
+        issues: List[str] = []
+        previous_end = None
+        for start, end in self._runs:
+            if start > end:
+                issues.append(f"bitmap run ({start}, {end}) is inverted")
+            if previous_end is not None and start <= previous_end + 1:
+                issues.append(
+                    f"bitmap run starting at {start} overlaps or touches the "
+                    f"previous run ending at {previous_end}"
+                )
+            previous_end = max(end, previous_end) if previous_end is not None else end
+        actual = sum(end - start + 1 for start, end in self._runs if start <= end)
+        if actual != self._cardinality:
+            issues.append(
+                f"bitmap cardinality {self._cardinality} != {actual} set bits"
+            )
+        if self._starts != [start for start, _ in self._runs]:
+            issues.append("bitmap start index diverged from its runs")
+        return issues
+
     def size_bytes(self) -> int:
         """Storage footprint: 4 bytes per run (start + length packed)."""
         return 4 * len(self._runs)

@@ -139,6 +139,18 @@ class ValueSummary:
         """Storage footprint of the summary in bytes."""
         raise NotImplementedError
 
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        """Issues with the summary's internal invariants (empty = healthy).
+
+        The introspection hook consumed by the invariant auditor
+        (:mod:`repro.check.invariants`): each concrete summary delegates
+        to its kernel structure's own ``invariant_issues`` so corruption
+        is reported in the structure's vocabulary (bucket index, trie
+        substring, term id).  The base implementation reports nothing.
+        """
+        del tolerance
+        return []
+
     def sample_value(self, rng: random.Random):
         """Draw one synthetic value from the summarized distribution.
 
@@ -202,6 +214,9 @@ class HistogramSummary(ValueSummary):
     def size_bytes(self) -> int:
         """Storage footprint (see :mod:`repro.values.histogram`)."""
         return self.histogram.size_bytes()
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        return self.histogram.invariant_issues(tolerance)
 
     def sample_value(self, rng: random.Random) -> int:
         buckets = self.histogram.buckets
@@ -274,6 +289,9 @@ class WaveletSummary(ValueSummary):
     def size_bytes(self) -> int:
         """Storage footprint (see :mod:`repro.values.wavelet`)."""
         return self.wavelet.size_bytes()
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        return self.wavelet.invariant_issues(tolerance)
 
     def sample_value(self, rng: random.Random) -> int:
         vector = [max(0.0, mass) for mass in self.wavelet.reconstruct()]
@@ -384,6 +402,10 @@ class StringSummary(ValueSummary):
     def size_bytes(self) -> int:
         """Storage footprint (see :mod:`repro.values.pst`)."""
         return self.pst.size_bytes()
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        del tolerance  # trie counts are integral; no float comparisons
+        return self.pst.invariant_issues()
 
     def sample_value(self, rng: random.Random, max_length: int = 24) -> str:
         """Generate a plausible string by a count-weighted trie walk.
@@ -512,6 +534,9 @@ class TextSummary(ValueSummary):
     def size_bytes(self) -> int:
         """Storage footprint (see :mod:`repro.values.ebth`)."""
         return self.ebth.size_bytes()
+
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        return self.ebth.invariant_issues(tolerance)
 
     def sample_value(self, rng: random.Random, max_terms: int = 64) -> frozenset:
         """Draw a synthetic term set: each term kept with its frequency."""

@@ -250,6 +250,36 @@ class HaarWavelet:
         budget = max(len(self.coefficients), len(other.coefficients))
         return HaarWavelet.from_vector(lo, cell_width, vector, budget)
 
+    def invariant_issues(self, tolerance: float = 1e-6) -> List[str]:
+        """Structural issues of the truncated transform (empty = healthy).
+
+        * the grid length is a power of two and coefficient indexes fall
+          inside it;
+        * coefficients are finite numbers;
+        * the reconstructed vector's mass matches ``total`` (the Haar
+          average coefficient carries the total exactly, so truncation
+          never perturbs it);
+        * ``total`` is non-negative.
+        """
+        issues: List[str] = []
+        if self.length & (self.length - 1):
+            issues.append(f"grid length {self.length} is not a power of two")
+        for index, value in self.coefficients.items():
+            if not 0 <= index < self.length:
+                issues.append(f"coefficient index {index} outside the grid")
+            if value != value or value in (float("inf"), float("-inf")):
+                issues.append(f"coefficient {index} is not finite ({value!r})")
+        if self.total < 0:
+            issues.append(f"total {self.total!r} is negative")
+        elif not issues:
+            reconstructed = sum(self.reconstruct())
+            scale = max(1.0, abs(self.total))
+            if abs(reconstructed - self.total) > tolerance * scale:
+                issues.append(
+                    f"reconstructed mass {reconstructed!r} != total {self.total!r}"
+                )
+        return issues
+
     def size_bytes(self) -> int:
         """Storage footprint: header plus 8 bytes per coefficient."""
         return HEADER_BYTES + COEFFICIENT_BYTES * len(self.coefficients)

@@ -93,6 +93,21 @@ class _Cursor:
         return text[start : self.pos]
 
 
+def _decode_char_reference(digits: str, base: int, position: int) -> str:
+    """Decode ``&#n;`` / ``&#xh;`` digits, rejecting malformed references.
+
+    Empty, non-numeric, or out-of-range code points surface as
+    :class:`XMLParseError` (found by fuzzing: ``&#;`` previously escaped
+    as a raw ``ValueError``).
+    """
+    try:
+        return chr(int(digits, base))
+    except (ValueError, OverflowError):
+        raise XMLParseError(
+            f"malformed character reference &#{digits};", position
+        ) from None
+
+
 def _decode_entities(raw: str) -> str:
     """Replace the five predefined XML entities and numeric references."""
     if "&" not in raw:
@@ -110,9 +125,9 @@ def _decode_entities(raw: str) -> str:
             raise XMLParseError("unterminated entity reference", amp)
         name = raw[amp + 1 : semi]
         if name.startswith("#x") or name.startswith("#X"):
-            pieces.append(chr(int(name[2:], 16)))
+            pieces.append(_decode_char_reference(name[2:], 16, amp))
         elif name.startswith("#"):
-            pieces.append(chr(int(name[1:])))
+            pieces.append(_decode_char_reference(name[1:], 10, amp))
         elif name in _ENTITY_TABLE:
             pieces.append(_ENTITY_TABLE[name])
         else:

@@ -2,14 +2,58 @@
 
 Heavy inputs are session-scoped so the suite stays fast; tests must not
 mutate them (use ``copy.deepcopy`` before compressing a shared synopsis).
+
+Randomized tests take the ``seeded_rng`` fixture: a ``random.Random``
+whose seed derives deterministically from the test's node id, so every
+test draws an independent but reproducible stream.  Set
+``REPRO_TEST_SEED`` to override the seed globally (e.g. to reproduce a
+CI failure, whose report logs the seed in its ``seeded_rng`` section).
 """
 
 from __future__ import annotations
+
+import os
+import random
+import zlib
 
 import pytest
 
 from repro.core import build_reference_synopsis
 from repro.datasets import bibliography_tree, generate_imdb, generate_xmark
+
+
+@pytest.fixture
+def seeded_rng(request):
+    """A per-test deterministic RNG; seed logged on failure.
+
+    The seed is ``REPRO_TEST_SEED`` when set, otherwise a stable hash
+    of the test's node id — unique per test, identical across runs and
+    machines (``zlib.crc32``, not ``hash()``, which is salted).
+    """
+    env = os.environ.get("REPRO_TEST_SEED")
+    if env is not None:
+        seed = int(env)
+    else:
+        seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    request.node.user_properties.append(("seeded_rng", seed))
+    return random.Random(seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Surface the ``seeded_rng`` seed in failing tests' reports."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    for name, value in item.user_properties:
+        if name == "seeded_rng":
+            report.sections.append(
+                (
+                    "seeded_rng",
+                    f"seed={value} (rerun with REPRO_TEST_SEED={value})",
+                )
+            )
 
 
 @pytest.fixture(scope="session")

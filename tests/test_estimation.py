@@ -299,3 +299,62 @@ class TestStats:
         assert misses > 0
         estimator.estimate(query)
         assert estimator.stats.selectivity_cache_hits >= misses
+
+
+class TestNegativeWorkloads:
+    """Zero-selectivity twigs: the paper reports XClusters "consistently
+    yield close to zero estimates" on negative workloads; both engines
+    must agree on (near-)zero, and exactly zero structural misses must
+    estimate exactly zero."""
+
+    def test_impossible_label_is_exactly_zero(self, bibliography_reference):
+        query = parse_twig("//no_such_element")
+        assert XClusterEstimator(bibliography_reference).estimate(query) == 0.0
+        assert CompiledEstimator(bibliography_reference).estimate(query) == 0.0
+
+    def test_impossible_branch_is_exactly_zero(self, bibliography_reference):
+        query = parse_twig("//book[./no_such_element]/title")
+        assert XClusterEstimator(bibliography_reference).estimate(query) == 0.0
+        assert CompiledEstimator(bibliography_reference).estimate(query) == 0.0
+
+    def test_impossible_child_chain_is_exactly_zero(self, xmark_reference):
+        # A valid label placed under a parent that never has it.
+        query = parse_twig("/site/no_such_element/site")
+        assert XClusterEstimator(xmark_reference).estimate(query) == 0.0
+        assert CompiledEstimator(xmark_reference).estimate(query) == 0.0
+
+    def test_generated_negative_workload_parity(self, imdb_small, imdb_reference):
+        from repro.workload.negative import make_negative_workload
+
+        positive = generate_workload(imdb_small, queries_per_class=4, seed=321)
+        negative = make_negative_workload(imdb_small, positive, seed=321)
+        assert negative.queries, "mutation produced no negative queries"
+        assert_parity(imdb_reference, [wq.query for wq in negative.queries])
+
+    def test_negative_estimates_are_near_zero(self, imdb_small, imdb_reference):
+        from repro.workload.negative import make_negative_workload
+
+        positive = generate_workload(imdb_small, queries_per_class=4, seed=321)
+        negative = make_negative_workload(imdb_small, positive, seed=321)
+        compiled = CompiledEstimator(imdb_reference)
+        for workload_query in negative.queries:
+            estimate = compiled.estimate(workload_query.query)
+            # The reference synopsis is exact per path; negative twigs
+            # must estimate (essentially) zero binding tuples on it.
+            assert estimate == pytest.approx(0.0, abs=1e-6), (
+                workload_query.query.to_xpath()
+            )
+
+    def test_out_of_domain_range_is_zero_in_both_engines(self, imdb_reference):
+        valued = [
+            node
+            for node in imdb_reference.valued_nodes()
+            if node.value_type is ValueType.NUMERIC
+        ]
+        assert valued
+        # Probe far above every numeric domain in the synopsis.
+        query = parse_twig("//movie[./year >= 99999999]")
+        expected = XClusterEstimator(imdb_reference).estimate(query)
+        actual = CompiledEstimator(imdb_reference).estimate(query)
+        assert expected == pytest.approx(0.0, abs=1e-9)
+        assert actual == pytest.approx(expected, rel=PARITY, abs=PARITY)

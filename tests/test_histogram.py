@@ -165,3 +165,74 @@ def test_compression_preserves_total(values):
     compressed = histogram.compress(4)
     assert compressed.total == pytest.approx(histogram.total)
     assert compressed.domain == histogram.domain
+
+
+class TestCDFEdgeCases:
+    """Property tests pinning selectivity_cdf to selectivity at the
+    awkward spots: exact bucket boundaries, single-bucket and empty
+    histograms, all-equal values, and unbounded probes."""
+
+    def test_empty_histogram_is_all_zero(self):
+        histogram = Histogram(())
+        assert histogram.total == 0
+        assert histogram.selectivity(0, 100) == 0.0
+        assert histogram.selectivity_cdf(0, 100) == 0.0
+
+    def test_single_bucket_boundaries(self):
+        histogram = Histogram((HistogramBucket(10, 19, 5.0),))
+        for low, high in [(10, 19), (10, 10), (19, 19), (0, 9), (20, 30)]:
+            assert histogram.selectivity_cdf(low, high) == pytest.approx(
+                histogram.selectivity(low, high), abs=1e-12
+            )
+        assert histogram.selectivity(10, 19) == pytest.approx(1.0)
+        assert histogram.selectivity(0, 9) == 0.0
+
+    def test_all_equal_values_collapse_to_point_mass(self):
+        histogram = Histogram.from_values([7] * 50, max_buckets=8)
+        assert histogram.bucket_count == 1
+        assert histogram.selectivity(7, 7) == pytest.approx(1.0)
+        assert histogram.selectivity_cdf(7, 7) == pytest.approx(1.0)
+        assert histogram.selectivity(8, 100) == 0.0
+        assert histogram.invariant_issues() == []
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_cdf_agrees_on_every_bucket_boundary(self, values, max_buckets):
+        histogram = Histogram.from_values(values, max_buckets)
+        domain_low = histogram.domain[0]
+        for edge in histogram.boundaries():
+            # Probes ending exactly ON an upper bucket edge hit the CDF
+            # fast path; the scan path is the ground truth.
+            assert histogram.selectivity_cdf(domain_low, edge) == pytest.approx(
+                histogram.selectivity(domain_low, edge), abs=1e-9
+            )
+            # One past the edge crosses into the next bucket.
+            assert histogram.selectivity_cdf(domain_low, edge + 1) == pytest.approx(
+                histogram.selectivity(domain_low, edge + 1), abs=1e-9
+            )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=60),
+        st.integers(min_value=-10, max_value=110),
+        st.integers(min_value=-10, max_value=110),
+    )
+    def test_cdf_agrees_on_arbitrary_ranges(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        histogram = Histogram.from_values(values, max_buckets=7)
+        assert histogram.selectivity_cdf(low, high) == pytest.approx(
+            histogram.selectivity(low, high), abs=1e-9
+        )
+
+    def test_inverted_range_is_zero(self):
+        histogram = Histogram.from_values(range(10))
+        assert histogram.selectivity(9, 3) == 0.0
+        assert histogram.selectivity_cdf(9, 3) == 0.0
+
+    def test_full_domain_is_one(self):
+        histogram = Histogram.from_values([1, 5, 9, 9, 20], max_buckets=3)
+        low, high = histogram.domain
+        assert histogram.selectivity(low, high) == pytest.approx(1.0)
+        assert histogram.selectivity_cdf(low, high) == pytest.approx(1.0)
+        assert histogram.invariant_issues() == []

@@ -4,7 +4,9 @@ import pytest
 
 from repro.xmltree import (
     ValueType,
+    XMLElement,
     XMLParseError,
+    XMLTree,
     parse_string,
     serialize,
     serialized_size_bytes,
@@ -137,3 +139,103 @@ class TestTokenize:
 
     def test_empty(self):
         assert tokenize_text("  ,. ") == frozenset()
+
+
+class TestFuzzRoundTrip:
+    """Seeded fuzzing of serialize -> parse (see docs/TESTING.md)."""
+
+    def test_random_documents_round_trip(self, seeded_rng):
+        from repro.check import DocumentConfig, DocumentGenerator
+
+        generator = DocumentGenerator(
+            DocumentConfig(min_elements=15, max_elements=60)
+        )
+        for _ in range(8):
+            tree = generator.generate(seeded_rng)
+            again = parse_string(serialize(tree), text_word_threshold=2)
+            originals = list(tree)
+            replicas = list(again)
+            assert len(originals) == len(replicas)
+            for original, replica in zip(originals, replicas):
+                assert original.label == replica.label
+                assert original.value_type is replica.value_type
+                assert original.value == replica.value
+
+    def test_entities_in_values_round_trip(self, seeded_rng):
+        specials = ["&", "<", ">", "&&", "<<>>", "a&b", "x<y", "p>q"]
+        for _ in range(10):
+            word = seeded_rng.choice(specials) + seeded_rng.choice("abc")
+            source = XMLElement("root")
+            source.add("s", word)
+            again = parse_string(serialize(XMLTree(source)))
+            assert again.root.children[0].value == word
+
+    def test_numeric_entity_forms(self):
+        tree = parse_string("<a><s>x&#38;y</s><t>p&#x26;q</t></a>")
+        assert tree.root.children[0].value == "x&y"
+        assert tree.root.children[1].value == "p&q"
+
+    def test_mixed_whitespace_between_elements(self, seeded_rng):
+        gaps = [" ", "\t", "\n", "\r\n", "  \n\t "]
+        for _ in range(10):
+            g = [seeded_rng.choice(gaps) for _ in range(6)]
+            text = (
+                f"<a>{g[0]}<b>{g[1]}7{g[2]}</b>{g[3]}<c>ok</c>{g[4]}</a>{g[5]}"
+            )
+            tree = parse_string(text)
+            assert tree.root.children[0].value == 7
+            assert tree.root.children[1].value == "ok"
+
+    def test_deep_nesting_round_trips(self):
+        depth = 120
+        source = "".join(f"<n{i}>" for i in range(depth))
+        source += "leafvalue"
+        source += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        tree = parse_string(source)
+        assert len(tree) == depth
+        again = parse_string(serialize(tree))
+        assert len(again) == depth
+        element = again.root
+        while element.children:
+            element = element.children[0]
+        assert element.value == "leafvalue"
+        assert element.depth() == depth - 1
+
+
+class TestFuzzMalformed:
+    """Random mutations of valid documents must raise, never crash."""
+
+    def test_truncations_raise_cleanly(self, seeded_rng):
+        source = "<a><b>5</b><c>hello</c><d><e>x y z</e></d></a>"
+        for _ in range(30):
+            cut = seeded_rng.randrange(1, len(source) - 1)
+            mutated = source[:cut]
+            try:
+                parse_string(mutated)
+            except XMLParseError as error:
+                assert error.position >= 0
+            # Some prefixes stay well-formed (e.g. cutting trailing
+            # whitespace); parsing successfully is also acceptable.
+
+    def test_random_byte_flips_raise_or_parse(self, seeded_rng):
+        source = "<a><b>5</b><c>hello</c></a>"
+        for _ in range(40):
+            position = seeded_rng.randrange(len(source))
+            junk = seeded_rng.choice("<>&/;=")
+            mutated = source[:position] + junk + source[position + 1:]
+            try:
+                tree = parse_string(mutated)
+            except XMLParseError:
+                continue
+            tree.validate()  # whatever parsed must be a sound tree
+
+    def test_stray_close_tags_raise(self, seeded_rng):
+        for _ in range(10):
+            label = seeded_rng.choice(["x", "yy", "zzz"])
+            with pytest.raises(XMLParseError):
+                parse_string(f"<a><b>1</b></{label}></a>")
+
+    def test_unterminated_entities_raise(self):
+        for bad in ["&amp", "&#38", "&#x26", "&;", "&#;", "&#xg;"]:
+            with pytest.raises(XMLParseError):
+                parse_string(f"<a><s>{bad}</s></a>")
