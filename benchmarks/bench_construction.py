@@ -9,12 +9,11 @@ profile-backed engine, plus an opt-in parallel pool-construction
 datapoint), whose results land in ``BENCH_construction.json``.
 """
 
-import json
-import os
 from time import perf_counter
 
 import pytest
 
+import common
 from repro.core import build_reference_synopsis
 from repro.core.builder import BuildConfig, XClusterBuilder
 from repro.core.sizing import structural_size_bytes
@@ -155,10 +154,9 @@ def test_scoring_engine_speedup(experiment_context):
         "equivalent": equivalent,
         "parallel_matches_serial": parallel_matches_serial,
     }
-    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_construction.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    out_path = common.write_report(
+        "construction", report, "BENCH_construction.json"
+    )
     print(
         f"\nBENCH_construction: scalar {scalar_seconds:.2f}s, "
         f"vectorized {vector_seconds:.2f}s, workers=4 {parallel_seconds:.2f}s "

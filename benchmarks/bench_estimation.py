@@ -13,10 +13,9 @@ process), and ``workers=4`` batched serving.  Parity is checked to
 ``BENCH_construction.json``).
 """
 
-import json
-import os
 from time import perf_counter
 
+import common
 from repro.core.estimation import WorkloadEstimator, estimate_many
 from repro.core.estimator import XClusterEstimator
 from repro.core.sizing import structural_size_bytes
@@ -159,10 +158,7 @@ def test_estimation_engine_speedup(experiment_context):
         "equivalent": equivalent,
         "parallel_matches_serial": parallel_matches_serial,
     }
-    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_estimation.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    out_path = common.write_report("estimation", report, "BENCH_estimation.json")
     print(
         f"\nBENCH_estimation: scalar {scalar_seconds:.3f}s, "
         f"compiled {compiled_seconds:.3f}s, workers=4 {parallel_seconds:.3f}s "

@@ -1,0 +1,151 @@
+"""Streaming ingestion — object-tree parse vs. the columnar pipeline.
+
+The object substrate materializes one ``XMLElement`` per document node
+before phase 1 of XCLUSTERBUILD can touch it.  The streaming pipeline
+(:mod:`repro.xmltree.events` + :mod:`repro.xmltree.columnar`) tokenizes
+the file in bounded chunks and lands directly in struct-of-arrays
+columns — interned labels, paths, and text terms — that the
+initial-partition and statistics code read without objects.
+
+This bench measures ingestion + phase 1 (the structural reference
+partition plus per-tag statistics; value summaries are phase-2 work and
+identical on both substrates) on serialized XMark documents across a
+scale sweep.  Time and peak memory are measured in separate runs
+(tracemalloc distorts timings).  At every scale the two substrates must
+produce a bit-identical structural synopsis and identical statistics;
+at full bench scale the columnar pipeline must deliver at least a 2x
+speedup *or* a 2x peak-memory reduction.  Results land in
+``BENCH_ingest.json``.
+"""
+
+import tracemalloc
+from time import perf_counter
+
+import common
+from repro.core import build_reference_synopsis
+from repro.core.serialization import synopsis_to_dict
+from repro.datasets import generate_xmark
+from repro.xmltree import ingest_file, parse_document, serialize
+from repro.xmltree.stats import collect_statistics
+
+#: The factor by which the columnar pipeline must beat the object path
+#: at full bench scale, on time *or* peak memory (smoke-scale runs only
+#: check parity and the report plumbing).
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_ASSERT_MIN_SCALE = 0.3
+
+#: XMark scales measured, as fractions of the configured bench scale.
+SWEEP_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def _object_pass(path, value_paths):
+    """Parse into an object tree, then run phase 1 over the objects."""
+    tree = parse_document(path)
+    synopsis = build_reference_synopsis(tree, value_paths, with_summaries=False)
+    return synopsis, collect_statistics(tree)
+
+
+def _columnar_pass(path, value_paths):
+    """Stream-ingest into columns, then run phase 1 over the columns."""
+    doc = ingest_file(path)
+    synopsis = build_reference_synopsis(doc, value_paths, with_summaries=False)
+    return synopsis, collect_statistics(doc)
+
+
+def _timed(fn, path, value_paths):
+    started = perf_counter()
+    result = fn(path, value_paths)
+    return perf_counter() - started, result
+
+
+def _peak_bytes(fn, path, value_paths):
+    tracemalloc.start()
+    try:
+        fn(path, value_paths)
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _sweep_point(xml_path, value_paths, scale):
+    """Measure both substrates at one XMark scale."""
+    object_seconds, (object_synopsis, object_stats) = _timed(
+        _object_pass, xml_path, value_paths
+    )
+    columnar_seconds, (columnar_synopsis, columnar_stats) = _timed(
+        _columnar_pass, xml_path, value_paths
+    )
+    equivalent = (
+        synopsis_to_dict(object_synopsis) == synopsis_to_dict(columnar_synopsis)
+        and object_stats == columnar_stats
+    )
+    object_peak = _peak_bytes(_object_pass, xml_path, value_paths)
+    columnar_peak = _peak_bytes(_columnar_pass, xml_path, value_paths)
+    return {
+        "scale": scale,
+        "elements": object_stats.element_count,
+        "object_seconds": round(object_seconds, 4),
+        "columnar_seconds": round(columnar_seconds, 4),
+        "object_peak_bytes": object_peak,
+        "columnar_peak_bytes": columnar_peak,
+        "speedup": round(
+            object_seconds / columnar_seconds if columnar_seconds > 0 else 0.0, 3
+        ),
+        "memory_reduction": round(
+            object_peak / columnar_peak if columnar_peak > 0 else 0.0, 3
+        ),
+        "reference_nodes": len(object_synopsis),
+        "equivalent": equivalent,
+    }
+
+
+def test_ingest_pipeline_speedup(experiment_context, tmp_path):
+    """Object vs columnar XMark ingestion + phase 1 → BENCH_ingest.json.
+
+    The columnar pipeline must produce a bit-identical structural
+    synopsis and identical per-tag statistics at every sweep scale, and
+    at full bench scale must beat the object path 2x on time or peak
+    memory.
+    """
+    context = experiment_context
+    bench_scale = context.config.scale
+    points = []
+    for fraction in SWEEP_FRACTIONS:
+        scale = round(bench_scale * fraction, 6)
+        dataset = generate_xmark(scale, context.config.xmark_seed)
+        xml_path = str(tmp_path / f"xmark_{fraction}.xml")
+        with open(xml_path, "w", encoding="utf-8") as handle:
+            handle.write(serialize(dataset.tree))
+        points.append(_sweep_point(xml_path, dataset.value_paths, scale))
+
+    headline = points[-1]
+    equivalent = all(point["equivalent"] for point in points)
+    speedup = headline["speedup"]
+    memory_reduction = headline["memory_reduction"]
+
+    report = {
+        "dataset": "xmark",
+        "scale": bench_scale,
+        "sweep": points,
+        "speedup": speedup,
+        "memory_reduction": memory_reduction,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": bench_scale >= SPEEDUP_ASSERT_MIN_SCALE,
+        "equivalent": equivalent,
+    }
+    out_path = common.write_report("ingest", report, "BENCH_ingest.json")
+    print(
+        f"\nBENCH_ingest: object {headline['object_seconds']:.3f}s / "
+        f"{headline['object_peak_bytes'] / 1e6:.1f}MB, columnar "
+        f"{headline['columnar_seconds']:.3f}s / "
+        f"{headline['columnar_peak_bytes'] / 1e6:.1f}MB -> "
+        f"speedup {speedup:.2f}x, memory {memory_reduction:.2f}x ({out_path})"
+    )
+
+    assert equivalent, "columnar phase 1 diverged from the object-tree path"
+    if bench_scale >= SPEEDUP_ASSERT_MIN_SCALE:
+        assert speedup >= SPEEDUP_FLOOR or memory_reduction >= SPEEDUP_FLOOR, (
+            f"columnar pipeline delivered neither a {SPEEDUP_FLOOR}x speedup "
+            f"({speedup:.2f}x) nor a {SPEEDUP_FLOOR}x memory reduction "
+            f"({memory_reduction:.2f}x)"
+        )

@@ -19,9 +19,7 @@ must deliver at least a 2x speedup on the combined ``st_cmprs`` +
 ``BENCH_estimation.json``).
 """
 
-import json
-import os
-
+import common
 from repro.core.builder import BuildConfig, XClusterBuilder
 from repro.core.estimator import XClusterEstimator
 from repro.core.sizing import (
@@ -180,10 +178,9 @@ def test_value_kernel_engine_speedup(experiment_context):
         "parity_max_rel_diff": parity_max,
         "equivalent": equivalent,
     }
-    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_value_kernels.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    out_path = common.write_report(
+        "value_kernels", report, "BENCH_value_kernels.json"
+    )
     print(
         f"\nBENCH_value_kernels: reference st+hist {reference_hist_st:.3f}s, "
         f"kernel {kernel_hist_st:.3f}s -> speedup {speedup:.2f}x "

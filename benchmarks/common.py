@@ -1,0 +1,91 @@
+"""Shared result writer for the ``BENCH_*.json`` emitters.
+
+Every performance bench in this directory ends by dumping a JSON report
+next to the repo root.  This module gives those reports one versioned
+schema and one writer, so downstream tooling (the CI smoke jobs, the
+schema test in ``tests/test_bench_schema.py``) can validate any report
+without knowing which bench produced it.
+
+Schema v1 — every report carries:
+
+* ``schema_version`` — the integer :data:`SCHEMA_VERSION`;
+* ``bench`` — the emitting bench's short name (``"construction"``,
+  ``"ingest"``, ...);
+* ``dataset`` — the dataset the bench ran on;
+* ``scale`` — the dataset scale factor (``REPRO_BENCH_SCALE``);
+* ``speedup`` — the headline optimized-vs-reference speedup ratio;
+* ``equivalent`` — whether the optimized path reproduced the reference
+  path's results exactly (the parity bit every bench must assert).
+
+Everything else in a report is bench-specific detail and deliberately
+unconstrained.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+#: Bump when a required field is added, removed, or retyped.
+SCHEMA_VERSION = 1
+
+#: Required fields and their accepted types (booleans are not numbers).
+REQUIRED_FIELDS = {
+    "schema_version": (int,),
+    "bench": (str,),
+    "dataset": (str,),
+    "scale": (int, float),
+    "speedup": (int, float),
+    "equivalent": (bool,),
+}
+
+
+def validate_report(report: object) -> List[str]:
+    """Schema-v1 problems with ``report`` (empty list = valid)."""
+    issues: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report is {type(report).__name__}, expected an object"]
+    for field, types in REQUIRED_FIELDS.items():
+        if field not in report:
+            issues.append(f"missing required field {field!r}")
+            continue
+        value = report[field]
+        if isinstance(value, bool) and bool not in types:
+            issues.append(f"field {field!r} is a bool, expected {types}")
+        elif not isinstance(value, types):
+            issues.append(
+                f"field {field!r} is {type(value).__name__}, expected "
+                + " or ".join(t.__name__ for t in types)
+            )
+    if (
+        isinstance(report.get("schema_version"), int)
+        and report["schema_version"] != SCHEMA_VERSION
+    ):
+        issues.append(
+            f"schema_version {report['schema_version']} != {SCHEMA_VERSION}"
+        )
+    return issues
+
+
+def write_report(bench: str, report: Dict, default_filename: str) -> str:
+    """Stamp, validate, and write one bench report; returns the path.
+
+    Adds ``schema_version`` and ``bench``, validates the result against
+    the schema (raising ``ValueError`` on a malformed report so a broken
+    emitter fails its own bench run), and writes pretty-printed JSON to
+    ``REPRO_BENCH_OUT`` or ``default_filename``.
+    """
+    report = dict(report)
+    report["schema_version"] = SCHEMA_VERSION
+    report["bench"] = bench
+    issues = validate_report(report)
+    if issues:
+        raise ValueError(
+            f"bench {bench!r} produced an invalid report: " + "; ".join(issues)
+        )
+    out_path = os.environ.get("REPRO_BENCH_OUT", default_filename)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out_path

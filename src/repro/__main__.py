@@ -8,6 +8,7 @@ Subcommands::
     python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title"
     python -m repro experiments [--scale 0.25] [--queries 15]
     python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json]
+    python -m repro ingest INPUT.xml [--compare]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
 and saves it; ``estimate`` loads a saved synopsis and prints the
@@ -16,7 +17,9 @@ selectivity against the raw document; ``experiments`` regenerates every
 table and figure of the paper's evaluation section; ``check`` runs the
 differential verification subsystem — the invariant auditor over a
 fresh (or saved) synopsis plus the seeded engine-parity fuzzer — and
-exits non-zero on any violation (see docs/TESTING.md).
+exits non-zero on any violation (see docs/TESTING.md); ``ingest``
+stream-parses a document into the columnar store and reports its
+shape, optionally comparing against the object-tree parse.
 """
 
 from __future__ import annotations
@@ -192,6 +195,46 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.xmltree import ingest_file
+
+    started = perf_counter()
+    doc = ingest_file(args.input)
+    ingest_seconds = perf_counter() - started
+    print(
+        f"{args.input}: {len(doc)} elements, {len(doc.label_table)} labels, "
+        f"{len(doc.path_parent)} paths, {len(doc.term_table)} terms, "
+        f"{doc.nbytes()} column bytes in {ingest_seconds:.3f}s"
+    )
+    if not args.compare:
+        return 0
+
+    from repro.core import build_reference_synopsis
+    from repro.core.serialization import synopsis_to_dict
+    from repro.xmltree.stats import collect_statistics
+
+    started = perf_counter()
+    tree = parse_document(args.input)
+    parse_seconds = perf_counter() - started
+    value_paths = doc.value_paths()
+    object_synopsis = build_reference_synopsis(
+        tree, value_paths, with_summaries=False
+    )
+    columnar_synopsis = build_reference_synopsis(
+        doc, value_paths, with_summaries=False
+    )
+    synopses_match = synopsis_to_dict(object_synopsis) == synopsis_to_dict(
+        columnar_synopsis
+    )
+    stats_match = collect_statistics(tree) == collect_statistics(doc)
+    print(f"object-tree parse: {parse_seconds:.3f}s")
+    print(f"reference synopsis parity: {'ok' if synopses_match else 'DIVERGED'}")
+    print(f"statistics parity: {'ok' if stats_match else 'DIVERGED'}")
+    return 0 if synopses_match and stats_match else 1
+
+
 def _default_rounds() -> int:
     """Fuzz rounds: the ``REPRO_CHECK_ROUNDS`` env knob, default 3."""
     try:
@@ -262,6 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit a JSON report"
     )
     check.set_defaults(handler=_cmd_check)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream a document into the columnar store",
+    )
+    ingest.add_argument("input", help="XML document to ingest")
+    ingest.add_argument(
+        "--compare",
+        action="store_true",
+        help="also parse the object tree and verify phase-1 parity "
+        "(exits non-zero on divergence)",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
     return parser
 
 

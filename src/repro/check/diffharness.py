@@ -14,7 +14,12 @@ exercises them on *arbitrary* documents, generated from a seed:
 5. generate a positive + negative twig workload and require the scalar
    oracle and the compiled estimator to agree within ``tolerance``;
 6. round-trip the synopsis through serialization and require the
-   restored synopsis to reproduce every estimate.
+   restored synopsis to reproduce every estimate;
+7. serialize the document and feed the identical bytes to the
+   object-tree parser and the event-stream columnar ingestor: the
+   reference synopses and the budgeted builds must be bit-identical
+   across substrates, and the columnar build must reproduce the
+   round's baseline estimates.
 
 Every failure records the round seed — re-running the harness with
 ``HarnessConfig(seed=<that seed>, rounds=1)`` reproduces it exactly —
@@ -45,6 +50,8 @@ from repro.datasets.dataset import Dataset
 from repro.query.ast import TwigQuery
 from repro.workload.generator import TwigWorkloadGenerator, WorkloadConfig
 from repro.workload.negative import make_negative_workload
+from repro.xmltree.columnar import ingest_string
+from repro.xmltree.parser import parse_string
 from repro.xmltree.serializer import serialize
 from repro.xmltree.tree import XMLElement, XMLTree
 from repro.xmltree.types import ValueType
@@ -260,6 +267,9 @@ class DifferentialHarness:
         report.failures.extend(
             self._serialization_failures(seed, synopsis, queries, baseline)
         )
+        report.failures.extend(
+            self._columnar_failures(seed, document, queries, baseline)
+        )
         return report
 
     # -- stages ---------------------------------------------------------------
@@ -402,6 +412,99 @@ class DifferentialHarness:
         shrunk = shrink_query(query, still_diverges)
         failure.shrunk_query = shrunk.to_xpath()
         return failure
+
+    def _columnar_failures(
+        self,
+        seed: int,
+        document: XMLTree,
+        queries: List[TwigQuery],
+        baseline: List[float],
+    ) -> List[Failure]:
+        """The streaming-ingest round.
+
+        Serialize the round's document, then feed the identical bytes
+        to both front ends: the object-tree parser and the event-stream
+        columnar ingestor.  The reference synopses and the budgeted
+        builds must be bit-identical across substrates, and the
+        columnar-substrate build must reproduce the round's baseline
+        estimates within tolerance.  (The generated documents are
+        round-trip safe at ``text_word_threshold=2`` — see
+        :class:`DocumentConfig`.)
+        """
+        failures: List[Failure] = []
+        xml = serialize(document)
+        parsed = parse_string(xml, text_word_threshold=2)
+        columnar = ingest_string(xml, text_word_threshold=2)
+        value_paths = parsed.value_paths()
+
+        object_reference = build_reference_synopsis(parsed, value_paths)
+        columnar_reference = build_reference_synopsis(columnar, value_paths)
+        if synopsis_to_dict(object_reference) != synopsis_to_dict(
+            columnar_reference
+        ):
+            failures.append(
+                Failure(
+                    kind="columnar-divergence",
+                    seed=seed,
+                    message=(
+                        "event-stream ingest and object-tree parse yield "
+                        "different reference synopses"
+                    ),
+                    document_size=len(document),
+                )
+            )
+            return failures  # a diverged substrate makes the build moot
+
+        structural = max(
+            256,
+            int(
+                structural_size_bytes(object_reference)
+                * self.config.structural_fraction
+            ),
+        )
+        value = max(
+            256,
+            int(value_size_bytes(object_reference) * self.config.value_fraction),
+        )
+        config = BuildConfig(
+            structural_budget=structural,
+            value_budget=value,
+            scoring="vectorized",
+            value_engine="kernel",
+        )
+        object_built = XClusterBuilder(config).build(parsed, value_paths)
+        columnar_built = XClusterBuilder(config).build(columnar, value_paths)
+        if synopsis_to_dict(object_built) != synopsis_to_dict(columnar_built):
+            failures.append(
+                Failure(
+                    kind="columnar-divergence",
+                    seed=seed,
+                    message=(
+                        "budgeted builds diverge between the columnar and "
+                        "object-tree substrates"
+                    ),
+                    document_size=len(document),
+                )
+            )
+            return failures
+
+        estimator = XClusterEstimator(columnar_built)
+        for query, expected in zip(queries, baseline):
+            actual = estimator.estimate(query)
+            if self._diverges(expected, actual):
+                failures.append(
+                    Failure(
+                        kind="columnar-divergence",
+                        seed=seed,
+                        message=(
+                            f"columnar-substrate build estimates {actual!r}, "
+                            f"object baseline {expected!r}"
+                        ),
+                        query=query.to_xpath(),
+                        document_size=len(document),
+                    )
+                )
+        return failures
 
     def _serialization_failures(
         self,

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.distance import SelectivityCache, compression_delta
 from repro.core.pool import CandidatePool, build_pool
 from repro.core.scoring import ScoringEngine
-from repro.core.reference import LabelPath, build_reference_synopsis
+from repro.core.reference import Document, LabelPath, build_reference_synopsis
 from repro.core.sizing import structural_size_bytes, value_size_bytes
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
 from repro.values.kernels.queue import SummaryStepper, make_stepper
@@ -34,8 +34,6 @@ from repro.values.summary import (
     TextSummary,
     ValueSummary,
 )
-from repro.xmltree.tree import XMLTree
-
 #: Stepper family -> the BuildStats timer its advances accumulate into.
 def _profile_violation(message: str):
     """Wrap a scoring-engine staleness finding as a check Violation."""
@@ -210,12 +208,17 @@ class XClusterBuilder:
 
     def build(
         self,
-        tree: XMLTree,
+        document: Document,
         value_paths: Optional[Sequence[LabelPath]] = None,
     ) -> XClusterSynopsis:
-        """Construct a budgeted synopsis directly from a document."""
+        """Construct a budgeted synopsis directly from a document.
+
+        ``document`` is either an object :class:`XMLTree` or a
+        :class:`~repro.xmltree.columnar.ColumnarDocument`; the two
+        substrates produce bit-identical synopses.
+        """
         reference = build_reference_synopsis(
-            tree, value_paths, self.config.summary
+            document, value_paths, self.config.summary
         )
         return self.compress(reference)
 
@@ -491,7 +494,7 @@ class XClusterBuilder:
 
 
 def build_xcluster(
-    tree: XMLTree,
+    document: Document,
     structural_budget: int,
     value_budget: int,
     value_paths: Optional[Sequence[LabelPath]] = None,
@@ -500,7 +503,8 @@ def build_xcluster(
     """One-call construction of a budgeted XCluster synopsis.
 
     Args:
-        tree: the document to summarize.
+        document: the document to summarize — an object
+            :class:`XMLTree` or a columnar document.
         structural_budget: ``B_str`` in bytes.
         value_budget: ``B_val`` in bytes.
         value_paths: label paths under which value summaries are kept.
@@ -521,4 +525,4 @@ def build_xcluster(
             value_budget=value_budget,
         )
     builder = XClusterBuilder(config)
-    return builder.build(tree, value_paths)
+    return builder.build(document, value_paths)

@@ -3,12 +3,14 @@
 Two entry points:
 
 * :func:`estimate_many` — estimate a batch of queries against one
-  synopsis, optionally sharded over a fork-based process pool.  Each
-  worker builds one :class:`~repro.core.estimation.engine.
-  CompiledEstimator` in its initializer and keeps it (and its shared
-  caches) warm across every chunk it serves, so per-worker cache state
-  amortizes exactly like the single-process path.  The synopsis and the
-  query list are inherited through the fork — never pickled.
+  synopsis, optionally sharded over a process pool.  Each worker builds
+  one :class:`~repro.core.estimation.engine.CompiledEstimator` in its
+  initializer and keeps it (and its shared caches) warm across every
+  chunk it serves, so per-worker cache state amortizes exactly like the
+  single-process path.  Under the preferred ``fork`` start method the
+  synopsis and the query list are inherited by the children — never
+  pickled; when only ``spawn`` is available they travel through the
+  pool initargs instead (see :mod:`repro.core.parallel`).
 * :class:`WorkloadEstimator` — compile a fixed workload once and serve
   it against *changing* synopses.  Plans are synopsis-independent, so
   retargeting (autobudget evaluates one candidate synopsis per trial
@@ -18,13 +20,12 @@ Two entry points:
 Estimation is a pure function of (synopsis, query): the parallel path
 returns the same floats as the serial path regardless of chunking, and
 it silently falls back to serial when process pools are unavailable
-(no fork start method, sandboxed environments) or the batch is too
-small to amortize the fork.
+(no usable start method, sandboxed environments) or the batch is too
+small to amortize the pool start.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.estimation.engine import (
@@ -33,16 +34,17 @@ from repro.core.estimation.engine import (
     PlanCache,
 )
 from repro.core.estimation.plan import CompiledPlan
+from repro.core.parallel import pool_context
 from repro.core.synopsis import XClusterSynopsis
 from repro.query.ast import TwigQuery
 
-#: Below this many queries the fork/IPC overhead exceeds the estimation
-#: work, so batched calls stay serial.
+#: Below this many queries the pool-start/IPC overhead exceeds the
+#: estimation work, so batched calls stay serial.
 MIN_PARALLEL_QUERIES = 16
 
-#: Per-worker state set by the pool initializer (fork start method: the
-#: synopsis and queries are inherited by the forked children).  The
-#: estimator persists across chunks, keeping each worker's caches warm.
+#: Per-worker state set by the pool initializer (inherited through the
+#: fork, or pickled as initargs under spawn).  The estimator persists
+#: across chunks, keeping each worker's caches warm.
 _WORKER_ESTIMATOR: Optional[CompiledEstimator] = None
 _WORKER_QUERIES: Sequence[TwigQuery] = ()
 
@@ -70,10 +72,9 @@ def _estimate_parallel(
     workers: int,
     max_path_length: int,
 ) -> Optional[List[float]]:
-    """Shard ``queries`` over a fork pool; ``None`` means fall back."""
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
+    """Shard ``queries`` over a process pool; ``None`` means fall back."""
+    context = pool_context()
+    if context is None:
         return None
     chunk_count = min(len(queries), workers * 4)
     chunks = [

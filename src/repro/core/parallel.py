@@ -1,0 +1,41 @@
+"""Process-pool start-method selection for the parallel paths.
+
+The candidate-scoring pool (:func:`repro.core.scoring.
+score_pairs_parallel`) and the batched estimation pool
+(:func:`repro.core.estimation.serving.estimate_many`) both prefer the
+``fork`` start method: the synopsis is inherited by the children
+through copy-on-write and never pickled.  Platforms without ``fork``
+(Windows, macOS spawn-default builds, sandboxes that disable it) fall
+back to ``spawn``, where the pool initargs are pickled into each worker
+instead — a slower start, but the same results.  When neither start
+method is available the callers run serially.
+
+Both pools route their context selection through :func:`pool_context`
+so the fallback order lives in one place and tests can force a specific
+path by monkeypatching :data:`START_METHODS`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+#: Pool start methods in preference order.  ``fork`` shares the parent
+#: address space; ``spawn`` pickles the initializer arguments.  Tests
+#: monkeypatch this tuple to force the spawn or serial fallback.
+START_METHODS = ("fork", "spawn")
+
+
+def pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The first available start method's context; ``None`` means serial.
+
+    Unknown or unsupported method names (``multiprocessing.get_context``
+    raises ``ValueError``) are skipped rather than raised, so callers
+    can treat ``None`` as the single "no pools here" signal.
+    """
+    for method in START_METHODS:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return None

@@ -35,13 +35,22 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
 from repro.values.summary import SummaryConfig, build_summary
+from repro.xmltree.columnar import KIND_TO_TYPE, ColumnarDocument
 from repro.xmltree.paths import LabelPath, matches_any
 from repro.xmltree.tree import XMLElement, XMLTree
 from repro.xmltree.types import ValueType
+
+#: Either document substrate: the object tree or the columnar store.
+#: Construction is substrate-generic — both feed the same class
+#: refinement and assembly code through flat per-index columns, so the
+#: resulting synopses are bit-identical (pinned by tests and the
+#: differential harness's columnar round).
+Document = Union[XMLTree, ColumnarDocument]
 
 #: Safety cap on refinement iterations (convergence is far faster).
 MAX_REFINEMENT_ROUNDS = 200
@@ -69,22 +78,26 @@ def _document_order(tree: XMLTree) -> Tuple[List[XMLElement], List[int], List[La
 
 
 def _refine_classes(
-    elements: List[XMLElement],
-    parents: List[int],
+    size: int,
+    parents: Sequence[int],
     initial: List[int],
 ) -> List[int]:
-    """Iterate both-ways refinement to the coarsest stable fixpoint."""
+    """Iterate both-ways refinement to the coarsest stable fixpoint.
+
+    Substrate-neutral: only the element count and the preorder parent
+    column are consulted (``parents`` may be a list or an ``array``).
+    """
     classes = initial
     class_count = len(set(classes))
-    children_of: List[List[int]] = [[] for _ in elements]
+    children_of: List[List[int]] = [[] for _ in range(size)]
     for index, parent_index in enumerate(parents):
         if parent_index >= 0:
             children_of[parent_index].append(index)
 
     for _ in range(MAX_REFINEMENT_ROUNDS):
         interned: Dict[Tuple, int] = {}
-        refined: List[int] = [0] * len(elements)
-        for index in range(len(elements)):
+        refined: List[int] = [0] * size
+        for index in range(size):
             child_counts: Dict[int, int] = {}
             for child_index in children_of[index]:
                 child_class = classes[child_index]
@@ -104,16 +117,26 @@ def _refine_classes(
     return classes
 
 
-def build_synopsis_from_classes(
-    elements: List[XMLElement],
-    parents: List[int],
-    paths: List[LabelPath],
+def _assemble_synopsis(
+    size: int,
+    parents: Sequence[int],
+    labels: Sequence[str],
+    vtypes: Sequence[ValueType],
+    value_of: Callable[[int], object],
+    path_of: Callable[[int], LabelPath],
     classes: List[int],
     value_paths: Optional[Sequence[LabelPath]],
     config: Optional[SummaryConfig] = None,
     with_summaries: bool = True,
 ) -> XClusterSynopsis:
-    """Materialize a synopsis from a per-element class assignment."""
+    """Materialize a synopsis from per-index columns and a class column.
+
+    The substrate-neutral core of every construction path: the object
+    tree and the columnar store both flatten into (labels, vtypes,
+    parents) columns plus value/path accessors, so class aggregation,
+    node creation, and edge creation run in one shared order — making
+    the two substrates' synopses bit-identical.
+    """
     config = config if config is not None else SummaryConfig()
     summarize_all = value_paths is None
     exact_paths: Set[LabelPath] = {
@@ -131,22 +154,23 @@ def build_synopsis_from_classes(
         )
 
     counts: Dict[int, int] = {}
-    labels: Dict[int, str] = {}
-    vtypes: Dict[int, ValueType] = {}
+    node_labels: Dict[int, str] = {}
+    node_vtypes: Dict[int, ValueType] = {}
     values: Dict[int, list] = {}
     edge_totals: Dict[Tuple[int, int], int] = {}
 
-    for index, element in enumerate(elements):
+    for index in range(size):
         key = classes[index]
         counts[key] = counts.get(key, 0) + 1
-        labels[key] = element.label
-        vtypes[key] = element.value_type
+        node_labels[key] = labels[index]
+        vtype = vtypes[index]
+        node_vtypes[key] = vtype
         if (
             with_summaries
-            and element.value_type is not ValueType.NULL
-            and path_wanted(paths[index])
+            and vtype is not ValueType.NULL
+            and path_wanted(path_of(index))
         ):
-            values.setdefault(key, []).append(element.value)
+            values.setdefault(key, []).append(value_of(index))
         parent_index = parents[index]
         if parent_index >= 0:
             edge = (classes[parent_index], key)
@@ -157,8 +181,10 @@ def build_synopsis_from_classes(
     for key, count in counts.items():
         vsumm = None
         if key in values:
-            vsumm = build_summary(vtypes[key], values[key], config)
-        node_of[key] = synopsis.add_node(labels[key], vtypes[key], count, vsumm)
+            vsumm = build_summary(node_vtypes[key], values[key], config)
+        node_of[key] = synopsis.add_node(
+            node_labels[key], node_vtypes[key], count, vsumm
+        )
     for (parent_key, child_key), total in edge_totals.items():
         synopsis.add_edge(
             node_of[parent_key], node_of[child_key], total / counts[parent_key]
@@ -167,34 +193,130 @@ def build_synopsis_from_classes(
     return synopsis
 
 
+def build_synopsis_from_classes(
+    elements: List[XMLElement],
+    parents: List[int],
+    paths: List[LabelPath],
+    classes: List[int],
+    value_paths: Optional[Sequence[LabelPath]],
+    config: Optional[SummaryConfig] = None,
+    with_summaries: bool = True,
+) -> XClusterSynopsis:
+    """Materialize a synopsis from a per-element class assignment."""
+    return _assemble_synopsis(
+        len(elements),
+        parents,
+        [element.label for element in elements],
+        [element.value_type for element in elements],
+        lambda index: elements[index].value,
+        paths.__getitem__,
+        classes,
+        value_paths,
+        config,
+        with_summaries,
+    )
+
+
+def _columnar_columns(
+    doc: ColumnarDocument,
+) -> Tuple[List[str], List[ValueType]]:
+    """Decode the interned label/kind columns once, as flat lists."""
+    table = doc.label_table
+    labels = [table[label_id] for label_id in doc.labels]
+    vtypes = [KIND_TO_TYPE[kind] for kind in doc.value_kind]
+    return labels, vtypes
+
+
+def _columnar_reference_classes(doc: ColumnarDocument) -> List[int]:
+    """Initial partition over columnar arrays: (path id, value kind).
+
+    Path ids biject with label-path tuples and kinds with value types,
+    both assigned in first-occurrence preorder, so the produced class
+    column is identical to the object path's ``(path, value_type)``
+    interning.
+    """
+    interned: Dict[int, int] = {}
+    pids = doc.path_ids
+    kinds = doc.value_kind
+    setdefault = interned.setdefault
+    return [
+        setdefault((pids[i] << 2) | kinds[i], len(interned))
+        for i in range(len(pids))
+    ]
+
+
 def build_reference_synopsis(
-    tree: XMLTree,
+    document: Document,
     value_paths: Optional[Sequence[LabelPath]] = None,
     config: Optional[SummaryConfig] = None,
     with_summaries: bool = True,
 ) -> XClusterSynopsis:
-    """The detailed reference synopsis: count-stable, one path per cluster."""
-    elements, parents, paths = _document_order(tree)
+    """The detailed reference synopsis: count-stable, one path per cluster.
+
+    ``document`` may be an object :class:`XMLTree` or a
+    :class:`~repro.xmltree.columnar.ColumnarDocument`; the columnar path
+    partitions directly over the interned id columns (no per-element
+    objects, no path tuples except for summarized nodes) and produces a
+    bit-identical synopsis.
+    """
+    if isinstance(document, ColumnarDocument):
+        initial = _columnar_reference_classes(document)
+        classes = _refine_classes(len(document), document.parent, initial)
+        labels, vtypes = _columnar_columns(document)
+        return _assemble_synopsis(
+            len(document),
+            document.parent,
+            labels,
+            vtypes,
+            document.value,
+            document.label_path,
+            classes,
+            value_paths,
+            config,
+            with_summaries,
+        )
+    elements, parents, paths = _document_order(document)
     interned: Dict[Tuple, int] = {}
     initial = [
         interned.setdefault((paths[i], elements[i].value_type), len(interned))
         for i in range(len(elements))
     ]
-    classes = _refine_classes(elements, parents, initial)
+    classes = _refine_classes(len(elements), parents, initial)
     return build_synopsis_from_classes(
         elements, parents, paths, classes, value_paths, config, with_summaries
     )
 
 
 def _build_with_classifier(
-    tree: XMLTree,
+    document: Document,
     classify: Callable[[XMLElement, LabelPath], Hashable],
+    columnar_key: Callable[[ColumnarDocument, int], Hashable],
     value_paths: Optional[Sequence[LabelPath]],
     config: Optional[SummaryConfig],
     with_summaries: bool,
 ) -> XClusterSynopsis:
-    elements, parents, paths = _document_order(tree)
-    interned: Dict[Hashable, int] = {}
+    if isinstance(document, ColumnarDocument):
+        doc = document
+        interned: Dict[Hashable, int] = {}
+        classes = [
+            interned.setdefault(columnar_key(doc, i), len(interned))
+            for i in range(len(doc))
+        ]
+        labels, vtypes = _columnar_columns(doc)
+        return _assemble_synopsis(
+            len(doc),
+            doc.parent,
+            labels,
+            vtypes,
+            doc.value,
+            doc.label_path,
+            classes,
+            value_paths,
+            config,
+            with_summaries,
+        )
+    elements, parents, paths = _document_order(document)
+    interned = {}
     classes = [
         interned.setdefault(classify(elements[i], paths[i]), len(interned))
         for i in range(len(elements))
@@ -205,7 +327,7 @@ def _build_with_classifier(
 
 
 def build_path_synopsis(
-    tree: XMLTree,
+    document: Document,
     value_paths: Optional[Sequence[LabelPath]] = None,
     config: Optional[SummaryConfig] = None,
     with_summaries: bool = True,
@@ -216,8 +338,9 @@ def build_path_synopsis(
     count-stable reference.
     """
     return _build_with_classifier(
-        tree,
+        document,
         lambda element, path: (path, element.value_type),
+        lambda doc, i: (doc.path_ids[i] << 2) | doc.value_kind[i],
         value_paths,
         config,
         with_summaries,
@@ -225,7 +348,7 @@ def build_path_synopsis(
 
 
 def build_tag_synopsis(
-    tree: XMLTree,
+    document: Document,
     value_paths: Optional[Sequence[LabelPath]] = None,
     config: Optional[SummaryConfig] = None,
     with_summaries: bool = True,
@@ -236,8 +359,9 @@ def build_tag_synopsis(
     that clusters elements based solely on their tags.
     """
     return _build_with_classifier(
-        tree,
+        document,
         lambda element, path: (element.label, element.value_type),
+        lambda doc, i: (doc.labels[i] << 2) | doc.value_kind[i],
         value_paths,
         config,
         with_summaries,

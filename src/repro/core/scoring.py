@@ -38,18 +38,18 @@ pin down.
 
 from __future__ import annotations
 
-import multiprocessing
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.distance import SelectivityCache
+from repro.core.parallel import pool_context
 from repro.core.sizing import merge_size_saving
 from repro.core.synopsis import SynopsisNode, XClusterSynopsis
 from repro.query.predicates import Predicate, TruePredicate
 
 _TRUE = TruePredicate()
 
-#: Below this many pairs the fork/IPC overhead exceeds the scoring work.
+#: Below this many pairs the pool-start/IPC overhead exceeds the scoring work.
 MIN_PARALLEL_PAIRS = 256
 
 
@@ -339,8 +339,8 @@ class ScoringEngine:
 
 # -- parallel pool construction -------------------------------------------------
 
-#: Per-worker state set by the pool initializer (fork start method: the
-#: synopsis is inherited by the forked children, never pickled).
+#: Per-worker state set by the pool initializer (inherited through the
+#: fork, or pickled as initargs under spawn — see repro.core.parallel).
 _WORKER_ENGINE: Optional[ScoringEngine] = None
 
 
@@ -378,16 +378,15 @@ def score_pairs_parallel(
 
     Returns ``(u_id, v_id, delta, size_saving)`` tuples, or ``None``
     when parallel execution is unavailable or not worthwhile (too few
-    pairs, no fork start method, or a sandbox that refuses process
-    pools) — callers fall back to the serial path.  Scoring is a pure
+    pairs, no usable pool start method, or a sandbox that refuses
+    process pools) — callers fall back to the serial path.  Scoring is a pure
     function of the synopsis, so the result set is identical to serial
     vectorized scoring regardless of chunking.
     """
     if workers <= 1 or len(pairs) < MIN_PARALLEL_PAIRS:
         return None
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
+    context = pool_context()
+    if context is None:
         return None
     chunk_count = min(len(pairs), workers * 4)
     chunks = [list(pairs[offset::chunk_count]) for offset in range(chunk_count)]

@@ -5,6 +5,14 @@ on: :class:`~repro.xmltree.tree.XMLElement` / :class:`~repro.xmltree.tree.XMLTre
 (a node-labeled tree where each element optionally carries a NUMERIC,
 STRING, or TEXT value), an XML parser and serializer implemented from
 scratch, and structural statistics used by the experiment harness.
+
+Two document substrates are available: the object tree (one
+:class:`XMLElement` per element) and the columnar store
+(:class:`~repro.xmltree.columnar.ColumnarDocument`, struct-of-arrays
+preorder columns fed by the streaming event tokenizer of
+:mod:`repro.xmltree.events`).  Synopsis construction accepts either and
+produces bit-identical results; the columnar path exists for scale —
+chunked file ingestion in bounded memory and array-scan statistics.
 """
 
 from repro.xmltree.tree import XMLElement, XMLTree
@@ -12,6 +20,16 @@ from repro.xmltree.types import ValueType, infer_value_type
 from repro.xmltree.parser import XMLParseError, parse_document, parse_string
 from repro.xmltree.serializer import serialize, serialized_size_bytes
 from repro.xmltree.stats import TreeStatistics, collect_statistics
+from repro.xmltree.events import iter_events
+from repro.xmltree.columnar import (
+    ColumnarCursor,
+    ColumnarDocument,
+    freeze,
+    from_events,
+    ingest_file,
+    ingest_string,
+    thaw,
+)
 
 __all__ = [
     "XMLElement",
@@ -25,4 +43,12 @@ __all__ = [
     "serialized_size_bytes",
     "TreeStatistics",
     "collect_statistics",
+    "iter_events",
+    "ColumnarCursor",
+    "ColumnarDocument",
+    "freeze",
+    "from_events",
+    "ingest_file",
+    "ingest_string",
+    "thaw",
 ]

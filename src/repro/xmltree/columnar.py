@@ -1,0 +1,568 @@
+"""A struct-of-arrays columnar encoding of an XML document.
+
+:class:`ColumnarDocument` stores one document as parallel preorder
+columns instead of one Python object per element:
+
+* ``labels`` — interned label ids into ``label_table``;
+* ``parent`` / ``first_child`` / ``next_sibling`` — ``array('i')``
+  structure columns encoding the tree (-1 is the null link), which make
+  both parent-chasing and subtree scans cache-friendly array walks;
+* ``path_ids`` — interned root-to-element label-path ids; the path table
+  itself is columnar (``path_parent`` / ``path_label``), so a document
+  with millions of elements stores each distinct path once;
+* ``value_kind`` / ``value_ref`` — per-element value type codes and
+  references into the typed value stores (``array('q')`` numerics with
+  an overflow dict for big ints, a string list, and a term store that
+  interns every distinct text term once in ``term_table`` and keeps
+  per-element term-id runs in first-occurrence order).
+
+Documents are built in one pass from the event stream of
+:mod:`repro.xmltree.events` (:func:`ingest_string` / :func:`ingest_file`
+— the streaming path never materializes the source or a node tree), or
+converted from/to the object model with :func:`freeze` and
+:func:`thaw`.  :class:`ColumnarCursor` offers object-like navigation
+over the columns for callers that need it.
+
+Typing semantics are identical to the tree parser: attributes become
+``@name`` children with raw STRING values, and element character data
+flows through the same ``_typed_value`` heuristic — so
+``thaw(ingest_string(x))`` equals ``parse_string(x)`` element for
+element, which ``tests/test_columnar.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.xmltree.events import (
+    ATTR,
+    DEFAULT_CHUNK_SIZE,
+    END,
+    START,
+    TEXT,
+    XMLEvent,
+    iter_events,
+)
+from repro.xmltree.parser import (
+    DEFAULT_TEXT_WORD_THRESHOLD,
+    TypeKey,
+    _typed_value,
+)
+from repro.xmltree.tree import XMLElement, XMLTree
+from repro.xmltree.types import ElementValue, ValueType, tokenize_text_ordered
+
+#: ``value_kind`` codes, aligned with :data:`KIND_TO_TYPE`.
+KIND_NULL = 0
+KIND_NUMERIC = 1
+KIND_STRING = 2
+KIND_TEXT = 3
+
+#: kind code -> :class:`ValueType` (position-aligned).
+KIND_TO_TYPE = (
+    ValueType.NULL,
+    ValueType.NUMERIC,
+    ValueType.STRING,
+    ValueType.TEXT,
+)
+
+#: :class:`ValueType` -> kind code.
+TYPE_TO_KIND = {vtype: kind for kind, vtype in enumerate(KIND_TO_TYPE)}
+
+#: Signed 64-bit bounds of the ``array('q')`` numeric column; values
+#: outside it go to the overflow dict (Python ints are unbounded).
+_Q_MIN = -(1 << 63)
+_Q_MAX = (1 << 63) - 1
+
+
+class ColumnarDocument:
+    """One XML document as parallel preorder columns (see module doc)."""
+
+    __slots__ = (
+        "label_table",
+        "label_index",
+        "labels",
+        "parent",
+        "first_child",
+        "next_sibling",
+        "path_ids",
+        "path_parent",
+        "path_label",
+        "_path_tuples",
+        "value_kind",
+        "value_ref",
+        "numeric_values",
+        "numeric_overflow",
+        "string_values",
+        "text_values",
+        "term_table",
+        "term_index",
+    )
+
+    def __init__(self) -> None:
+        #: Distinct labels in first-occurrence order; ``labels`` indexes it.
+        self.label_table: List[str] = []
+        self.label_index: Dict[str, int] = {}
+        self.labels = array("i")
+        self.parent = array("i")
+        self.first_child = array("i")
+        self.next_sibling = array("i")
+        #: Per-element interned path ids; the path table is itself
+        #: columnar: ``path_parent[p]`` is the path id of the prefix and
+        #: ``path_label[p]`` the last label id (-1 parent for roots).
+        self.path_ids = array("i")
+        self.path_parent = array("i")
+        self.path_label = array("i")
+        self._path_tuples: Dict[int, Tuple[str, ...]] = {}
+        self.value_kind = array("b")
+        self.value_ref = array("i")
+        self.numeric_values = array("q")
+        self.numeric_overflow: Dict[int, int] = {}
+        self.string_values: List[str] = []
+        #: Per-TEXT-element term sets.  Streamed values are stored as
+        #: term-id tuples in first-occurrence order (ids into
+        #: ``term_table``, one string per distinct term document-wide);
+        #: frozen values keep their original frozensets verbatim, since
+        #: their construction order is no longer recoverable and term-id
+        #: interning downstream is sensitive to set layout.
+        self.text_values: List = []
+        self.term_table: List[str] = []
+        self.term_index: Dict[str, int] = {}
+
+    # -- interning ---------------------------------------------------------
+
+    def _label_id(self, label: str) -> int:
+        lid = self.label_index.get(label)
+        if lid is None:
+            lid = len(self.label_table)
+            self.label_index[label] = lid
+            self.label_table.append(label)
+        return lid
+
+    # -- per-element accessors ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def label(self, index: int) -> str:
+        """The tag of element ``index``."""
+        return self.label_table[self.labels[index]]
+
+    def value_type(self, index: int) -> ValueType:
+        """The :class:`ValueType` of element ``index``."""
+        return KIND_TO_TYPE[self.value_kind[index]]
+
+    def value(self, index: int) -> ElementValue:
+        """The typed value of element ``index`` (``None`` when NULL)."""
+        kind = self.value_kind[index]
+        if kind == KIND_NULL:
+            return None
+        ref = self.value_ref[index]
+        if kind == KIND_NUMERIC:
+            overflow = self.numeric_overflow.get(ref)
+            return overflow if overflow is not None else self.numeric_values[ref]
+        if kind == KIND_STRING:
+            return self.string_values[ref]
+        stored = self.text_values[ref]
+        if type(stored) is not tuple:
+            return stored
+        # Rebuild through the same set-insertion sequence tokenize_text
+        # used, so the frozenset layout (and thus downstream term-id
+        # interning order) matches the object parser's bit for bit.
+        table = self.term_table
+        terms = set()
+        for term_id in stored:
+            terms.add(table[term_id])
+        return frozenset(terms)
+
+    def path_tuple(self, path_id: int) -> Tuple[str, ...]:
+        """The label tuple of one interned path id (memoized)."""
+        known = self._path_tuples.get(path_id)
+        if known is not None:
+            return known
+        pending = []
+        pid = path_id
+        while pid >= 0 and pid not in self._path_tuples:
+            pending.append(pid)
+            pid = self.path_parent[pid]
+        prefix = self._path_tuples[pid] if pid >= 0 else ()
+        for pid in reversed(pending):
+            prefix = prefix + (self.label_table[self.path_label[pid]],)
+            self._path_tuples[pid] = prefix
+        return self._path_tuples[path_id]
+
+    def label_path(self, index: int) -> Tuple[str, ...]:
+        """The root-to-element label path of element ``index``."""
+        return self.path_tuple(self.path_ids[index])
+
+    def children(self, index: int) -> Iterator[int]:
+        """Child indexes of element ``index`` in document order."""
+        child = self.first_child[index]
+        while child >= 0:
+            yield child
+            child = self.next_sibling[child]
+
+    def subtree_end(self, index: int) -> int:
+        """One past the last preorder index of the subtree at ``index``.
+
+        Preorder layout makes every subtree a contiguous index range:
+        the subtree of ``index`` is exactly ``range(index,
+        subtree_end(index))``.
+        """
+        sibling = self.next_sibling[index]
+        if sibling >= 0:
+            return sibling
+        node = self.parent[index]
+        while node >= 0:
+            sibling = self.next_sibling[node]
+            if sibling >= 0:
+                return sibling
+            node = self.parent[node]
+        return len(self.labels)
+
+    def cursor(self, index: int = 0) -> "ColumnarCursor":
+        """An object-like navigator positioned on element ``index``."""
+        return ColumnarCursor(self, index)
+
+    # -- document-level helpers --------------------------------------------
+
+    def value_paths(self) -> List[Tuple[str, ...]]:
+        """Sorted distinct label paths of valued elements.
+
+        Matches :meth:`repro.xmltree.tree.XMLTree.value_paths` on the
+        equivalent object tree.
+        """
+        valued_pids = set()
+        kinds = self.value_kind
+        pids = self.path_ids
+        for index in range(len(kinds)):
+            if kinds[index] != KIND_NULL:
+                valued_pids.add(pids[index])
+        return sorted(self.path_tuple(pid) for pid in valued_pids)
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the columns (diagnostics)."""
+        total = 0
+        for column in (
+            self.labels,
+            self.parent,
+            self.first_child,
+            self.next_sibling,
+            self.path_ids,
+            self.path_parent,
+            self.path_label,
+            self.value_kind,
+            self.value_ref,
+            self.numeric_values,
+        ):
+            total += len(column) * column.itemsize
+        total += sum(len(text) for text in self.string_values)
+        for terms in self.text_values:
+            if type(terms) is tuple:
+                total += 8 * len(terms)
+            else:
+                total += sum(len(term) for term in terms)
+        total += sum(len(term) for term in self.term_table)
+        total += sum(len(label) for label in self.label_table)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ColumnarDocument elements={len(self)} "
+            f"labels={len(self.label_table)} paths={len(self.path_parent)}>"
+        )
+
+
+class ColumnarCursor:
+    """Navigation over one :class:`ColumnarDocument` element."""
+
+    __slots__ = ("doc", "index")
+
+    def __init__(self, doc: ColumnarDocument, index: int) -> None:
+        self.doc = doc
+        self.index = index
+
+    @property
+    def label(self) -> str:
+        return self.doc.label(self.index)
+
+    @property
+    def value(self) -> ElementValue:
+        return self.doc.value(self.index)
+
+    @property
+    def value_type(self) -> ValueType:
+        return self.doc.value_type(self.index)
+
+    def label_path(self) -> Tuple[str, ...]:
+        """The root-to-element sequence of labels."""
+        return self.doc.label_path(self.index)
+
+    def parent(self) -> Optional["ColumnarCursor"]:
+        """A cursor on the parent element, or ``None`` at the root."""
+        parent = self.doc.parent[self.index]
+        return ColumnarCursor(self.doc, parent) if parent >= 0 else None
+
+    def children(self) -> Iterator["ColumnarCursor"]:
+        """Cursors on the child elements, in document order."""
+        doc = self.doc
+        for child in doc.children(self.index):
+            yield ColumnarCursor(doc, child)
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        depth = 0
+        node = self.doc.parent[self.index]
+        while node >= 0:
+            depth += 1
+            node = self.doc.parent[node]
+        return depth
+
+    def subtree_size(self) -> int:
+        """Number of elements in the subtree rooted here (inclusive)."""
+        return self.doc.subtree_end(self.index) - self.index
+
+    def iter(self) -> Iterator["ColumnarCursor"]:
+        """This element and all descendants, in preorder."""
+        doc = self.doc
+        for index in range(self.index, doc.subtree_end(self.index)):
+            yield ColumnarCursor(doc, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnarCursor #{self.index} {self.label!r}>"
+
+
+# -- construction ------------------------------------------------------------
+
+
+def _store_value(doc: ColumnarDocument, index: int, value) -> None:
+    """Place an already-typed value into the typed columns."""
+    if value is None:
+        return
+    if isinstance(value, bool):
+        raise TypeError("bool is not a supported XML element value")
+    if isinstance(value, int):
+        ref = len(doc.numeric_values)
+        if _Q_MIN <= value <= _Q_MAX:
+            doc.numeric_values.append(value)
+        else:
+            doc.numeric_values.append(0)
+            doc.numeric_overflow[ref] = value
+        doc.value_kind[index] = KIND_NUMERIC
+        doc.value_ref[index] = ref
+    elif isinstance(value, str):
+        doc.value_kind[index] = KIND_STRING
+        doc.value_ref[index] = len(doc.string_values)
+        doc.string_values.append(value)
+    elif isinstance(value, (set, frozenset)):
+        # Kept verbatim (no id interning): reconstruction from ids is
+        # only layout-safe when the original insertion order is known,
+        # which it is not for an already-built set.
+        doc.value_kind[index] = KIND_TEXT
+        doc.value_ref[index] = len(doc.text_values)
+        doc.text_values.append(frozenset(value))
+    else:
+        raise TypeError(
+            f"unsupported element value type: {type(value).__name__}"
+        )
+
+
+def _store_text_terms(
+    doc: ColumnarDocument, index: int, ordered_terms: List[str]
+) -> None:
+    """Store a streamed term set as interned ids, preserving order."""
+    term_index = doc.term_index
+    table = doc.term_table
+    ids = []
+    for term in ordered_terms:
+        term_id = term_index.get(term)
+        if term_id is None:
+            term_id = len(table)
+            term_index[term] = term_id
+            table.append(term)
+        ids.append(term_id)
+    doc.value_kind[index] = KIND_TEXT
+    doc.value_ref[index] = len(doc.text_values)
+    doc.text_values.append(tuple(ids))
+
+
+def _append_node(
+    doc: ColumnarDocument,
+    label_id: int,
+    parent_index: int,
+    last_child: array,
+) -> int:
+    """Append one element row, linking it into the structure columns."""
+    index = len(doc.labels)
+    doc.labels.append(label_id)
+    doc.parent.append(parent_index)
+    doc.first_child.append(-1)
+    doc.next_sibling.append(-1)
+    doc.value_kind.append(KIND_NULL)
+    doc.value_ref.append(-1)
+    last_child.append(-1)
+    if parent_index >= 0:
+        previous = last_child[parent_index]
+        if previous >= 0:
+            doc.next_sibling[previous] = index
+        else:
+            doc.first_child[parent_index] = index
+        last_child[parent_index] = index
+    return index
+
+
+def _intern_path(
+    doc: ColumnarDocument, parent_path_id: int, label_id: int,
+    path_index: Dict[Tuple[int, int], int],
+) -> int:
+    key = (parent_path_id, label_id)
+    pid = path_index.get(key)
+    if pid is None:
+        pid = len(doc.path_parent)
+        path_index[key] = pid
+        doc.path_parent.append(parent_path_id)
+        doc.path_label.append(label_id)
+    return pid
+
+
+def from_events(
+    events: Iterable[XMLEvent],
+    type_map: Optional[Mapping[TypeKey, ValueType]] = None,
+    text_word_threshold: int = DEFAULT_TEXT_WORD_THRESHOLD,
+) -> ColumnarDocument:
+    """Build a :class:`ColumnarDocument` from one tokenizer event stream.
+
+    Consumes the stream in a single pass with O(depth) transient state;
+    value typing applies the tree parser's exact heuristic (``type_map``
+    and ``text_word_threshold`` have :func:`~repro.xmltree.parser.
+    parse_string` semantics).
+    """
+    type_map = type_map or {}
+    doc = ColumnarDocument()
+    path_index: Dict[Tuple[int, int], int] = {}
+    #: Per-element last-child index, for sibling linking during the pass.
+    last_child = array("i")
+    #: Open-element stacks: node index, path id, buffered text chunks.
+    open_nodes: List[int] = []
+    open_pids: List[int] = []
+    open_text: List[List[str]] = []
+
+    for event in events:
+        kind = event[0]
+        if kind is TEXT or kind == TEXT:
+            open_text[-1].append(event[1])
+        elif kind is START or kind == START:
+            label_id = doc._label_id(event[1])
+            parent_index = open_nodes[-1] if open_nodes else -1
+            parent_pid = open_pids[-1] if open_pids else -1
+            index = _append_node(doc, label_id, parent_index, last_child)
+            doc.path_ids.append(
+                _intern_path(doc, parent_pid, label_id, path_index)
+            )
+            open_nodes.append(index)
+            open_pids.append(doc.path_ids[index])
+            open_text.append([])
+        elif kind is END or kind == END:
+            index = open_nodes.pop()
+            pid = open_pids.pop()
+            raw = "".join(open_text.pop())
+            if raw.strip():
+                typed = _typed_value(
+                    raw, doc.path_tuple(pid), type_map, text_word_threshold
+                )
+                if type(typed) is frozenset:
+                    _store_text_terms(
+                        doc, index, tokenize_text_ordered(raw)
+                    )
+                else:
+                    _store_value(doc, index, typed)
+        elif kind is ATTR or kind == ATTR:
+            # Attributes become @name children with raw STRING values,
+            # exactly as the tree parser materializes them.
+            label_id = doc._label_id("@" + event[1])
+            parent_index = open_nodes[-1]
+            index = _append_node(doc, label_id, parent_index, last_child)
+            doc.path_ids.append(
+                _intern_path(doc, open_pids[-1], label_id, path_index)
+            )
+            doc.value_kind[index] = KIND_STRING
+            doc.value_ref[index] = len(doc.string_values)
+            doc.string_values.append(event[2])
+        else:  # pragma: no cover - the tokenizer emits no other kinds
+            raise ValueError(f"unknown event kind {kind!r}")
+    return doc
+
+
+def ingest_string(
+    text: str,
+    type_map: Optional[Mapping[TypeKey, ValueType]] = None,
+    text_word_threshold: int = DEFAULT_TEXT_WORD_THRESHOLD,
+) -> ColumnarDocument:
+    """Tokenize and columnarize an XML document held in memory."""
+    return from_events(iter_events(text), type_map, text_word_threshold)
+
+
+def ingest_file(
+    path: str,
+    type_map: Optional[Mapping[TypeKey, ValueType]] = None,
+    text_word_threshold: int = DEFAULT_TEXT_WORD_THRESHOLD,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ColumnarDocument:
+    """Stream an XML file from disk into a :class:`ColumnarDocument`.
+
+    Unlike :func:`repro.xmltree.parser.parse_document`, the source is
+    never fully resident: the tokenizer holds one bounded window of the
+    file while the columns grow.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_events(
+            iter_events(handle, chunk_size), type_map, text_word_threshold
+        )
+
+
+# -- object-model adapters ----------------------------------------------------
+
+
+def freeze(tree: XMLTree) -> ColumnarDocument:
+    """Encode an object :class:`XMLTree` into columnar form.
+
+    Values are already typed on the tree, so they are stored as-is (no
+    re-typing); the preorder of the columns matches ``tree.root.iter()``.
+    """
+    doc = ColumnarDocument()
+    path_index: Dict[Tuple[int, int], int] = {}
+    last_child = array("i")
+    stack: List[Tuple[XMLElement, int, int]] = [(tree.root, -1, -1)]
+    while stack:
+        element, parent_index, parent_pid = stack.pop()
+        label_id = doc._label_id(element.label)
+        index = _append_node(doc, label_id, parent_index, last_child)
+        pid = _intern_path(doc, parent_pid, label_id, path_index)
+        doc.path_ids.append(pid)
+        _store_value(doc, index, element.value)
+        for child in reversed(element.children):
+            stack.append((child, index, pid))
+    return doc
+
+
+def thaw(doc: ColumnarDocument) -> XMLTree:
+    """Materialize the object :class:`XMLTree` of a columnar document."""
+    if not len(doc):
+        raise ValueError("cannot thaw an empty ColumnarDocument")
+    elements: List[XMLElement] = []
+    parent_column = doc.parent
+    for index in range(len(doc)):
+        element = XMLElement(doc.label(index), doc.value(index))
+        parent_index = parent_column[index]
+        if parent_index >= 0:
+            elements[parent_index].append_child(element)
+        elements.append(element)
+    return XMLTree(elements[0])

@@ -1,0 +1,354 @@
+"""A pull-based XML event tokenizer for streaming ingestion.
+
+The recursive-descent parser in :mod:`repro.xmltree.parser` materializes
+one :class:`~repro.xmltree.tree.XMLElement` per document element — the
+right substrate for small fixtures, but a memory ceiling for XMark-scale
+corpora.  This module re-layers the same lexical grammar as a *pull*
+tokenizer: :func:`iter_events` scans the input once and yields a flat
+stream of ``(START, label)`` / ``(ATTR, name, value)`` /
+``(TEXT, data)`` / ``(END, label)`` tuples without ever building nodes.
+Consumers (the columnar ingestor, primarily) decide what to materialize.
+
+The tokenizer accepts a whole string, an open text-file handle, or any
+iterable of string chunks, so documents can be ingested from disk in
+bounded memory: the internal buffer holds only the unconsumed suffix of
+the current window plus one lookahead chunk.
+
+Semantics are kept bit-for-bit compatible with the tree parser:
+
+* the same entity table and numeric-character-reference validation
+  (``&#;``-style malformed references raise :class:`XMLParseError`);
+* the same comment / processing-instruction / DOCTYPE / CDATA handling;
+* the same well-formedness errors (mismatched close tags, unterminated
+  elements, trailing content), reported at the same document offsets;
+* the same duplicate-attribute rule (last value wins, first position);
+* the same mixed-content rule — an element whose children (including
+  attribute children) coexist with non-whitespace character data is
+  rejected — enforced here so every consumer inherits it.
+
+``TEXT`` events carry entity-decoded character data exactly as the tree
+parser accumulates it: one event per contiguous run between markup, plus
+one per CDATA section (CDATA is never entity-decoded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+from repro.xmltree.parser import XMLParseError, _decode_entities
+
+#: Event kinds.  Interned module constants — consumers compare with
+#: ``is`` for speed; the values read well in test failures.
+START = "start"
+ATTR = "attr"
+TEXT = "text"
+END = "end"
+
+#: One tokenizer event: ``(START, label)``, ``(ATTR, name, value)``,
+#: ``(TEXT, data)``, or ``(END, label)``.
+XMLEvent = Tuple[str, ...]
+
+#: Anything the tokenizer can scan: a whole document string, an open
+#: text-mode file, or an iterable of string chunks.
+EventSource = Union[str, "Iterator[str]"]
+
+#: Default read size when pulling from a file handle.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+#: Compact the buffer once this much consumed prefix accumulates, so the
+#: resident window stays proportional to the chunk size, not the input.
+_COMPACT_THRESHOLD = 1 << 16
+
+
+class _StreamCursor:
+    """Scan state over a chunked input with on-demand refill.
+
+    The same surface as the tree parser's ``_Cursor`` (``peek`` /
+    ``startswith`` / ``expect`` / ``read_until`` / ``read_name``), but
+    every lookahead that runs off the buffered suffix pulls the next
+    chunk first.  ``offset`` converts buffer positions to absolute
+    document offsets so errors match the whole-string parser.
+    """
+
+    __slots__ = ("buffer", "pos", "offset", "_chunks", "_exhausted")
+
+    def __init__(self, chunks: Iterator[str]) -> None:
+        self.buffer = ""
+        self.pos = 0
+        #: Absolute document offset of ``buffer[0]``.
+        self.offset = 0
+        self._chunks = chunks
+        self._exhausted = False
+
+    # -- buffer management -------------------------------------------------
+
+    def _pull(self) -> bool:
+        """Append the next chunk; False once the source is exhausted."""
+        if self._exhausted:
+            return False
+        for chunk in self._chunks:
+            if chunk:
+                self.buffer += chunk
+                return True
+        self._exhausted = True
+        return False
+
+    def _ensure(self, length: int) -> None:
+        """Buffer at least ``length`` characters past ``pos`` if possible."""
+        while len(self.buffer) - self.pos < length and self._pull():
+            pass
+
+    def compact(self) -> None:
+        """Drop the consumed prefix when it grows past the threshold."""
+        if self.pos > _COMPACT_THRESHOLD:
+            self.offset += self.pos
+            self.buffer = self.buffer[self.pos :]
+            self.pos = 0
+
+    def tell(self) -> int:
+        """The absolute document offset of the scan position."""
+        return self.offset + self.pos
+
+    # -- the lexer surface -------------------------------------------------
+
+    def eof(self) -> bool:
+        self._ensure(1)
+        return self.pos >= len(self.buffer)
+
+    def peek(self) -> str:
+        self._ensure(1)
+        return self.buffer[self.pos] if self.pos < len(self.buffer) else ""
+
+    def startswith(self, token: str) -> bool:
+        self._ensure(len(token))
+        return self.buffer.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XMLParseError(f"expected {token!r}", self.tell())
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while True:
+            buffer = self.buffer
+            size = len(buffer)
+            while self.pos < size and buffer[self.pos].isspace():
+                self.pos += 1
+            if self.pos < size or not self._pull():
+                return
+
+    def read_until(self, token: str) -> str:
+        """Consume through ``token``, returning the text before it."""
+        while True:
+            end = self.buffer.find(token, self.pos)
+            if end >= 0:
+                chunk = self.buffer[self.pos : end]
+                self.pos = end + len(token)
+                return chunk
+            if not self._pull():
+                raise XMLParseError(
+                    f"unterminated section, expected {token!r}", self.tell()
+                )
+
+    def read_text_run(self) -> str:
+        """Consume character data up to (not including) the next ``<``.
+
+        Returns an empty string — without consuming anything — when EOF
+        arrives before any markup, so the caller can raise its
+        contextual unterminated-element error at the run's offset.
+        """
+        while True:
+            end = self.buffer.find("<", self.pos)
+            if end >= 0:
+                chunk = self.buffer[self.pos : end]
+                self.pos = end
+                return chunk
+            if not self._pull():
+                return ""
+
+    def read_name(self) -> str:
+        start = self.pos
+        while True:
+            buffer = self.buffer
+            size = len(buffer)
+            while self.pos < size and (
+                buffer[self.pos].isalnum() or buffer[self.pos] in "_-.:@"
+            ):
+                self.pos += 1
+            if self.pos < size or not self._pull():
+                break
+        if self.pos == start:
+            raise XMLParseError("expected a name", self.tell())
+        return self.buffer[start : self.pos]
+
+
+def _chunk_iterator(source: EventSource, chunk_size: int) -> Iterator[str]:
+    """Normalize any supported source into an iterator of string chunks."""
+    if isinstance(source, str):
+        return iter((source,))
+    read = getattr(source, "read", None)
+    if callable(read):
+
+        def _file_chunks() -> Iterator[str]:
+            while True:
+                chunk = read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+
+        return _file_chunks()
+    return iter(source)
+
+
+def _skip_misc(cursor: _StreamCursor) -> None:
+    """Skip whitespace, comments, processing instructions, and doctypes."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<!--"):
+            cursor.pos += 4
+            cursor.read_until("-->")
+        elif cursor.startswith("<?"):
+            cursor.pos += 2
+            cursor.read_until("?>")
+        elif cursor.startswith("<!DOCTYPE"):
+            cursor.read_until(">")
+        else:
+            return
+
+
+def _read_start_tag(
+    cursor: _StreamCursor,
+) -> Tuple[str, List[Tuple[str, str]], bool]:
+    """Scan one start tag: ``(label, attributes, self_closed)``.
+
+    Attributes are deduplicated exactly as the tree parser's dict
+    accumulation does: a repeated name keeps its first position with the
+    last value.
+    """
+    cursor.expect("<")
+    label = cursor.read_name()
+    names: List[str] = []
+    values = {}
+    while True:
+        cursor.skip_whitespace()
+        char = cursor.peek()
+        if char in (">", "/", ""):
+            break
+        name = cursor.read_name()
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise XMLParseError("attribute value must be quoted", cursor.tell())
+        cursor.pos += 1
+        if name not in values:
+            names.append(name)
+        values[name] = _decode_entities(cursor.read_until(quote))
+    cursor.skip_whitespace()
+    if cursor.startswith("/>"):
+        cursor.pos += 2
+        return label, [(name, values[name]) for name in names], True
+    cursor.expect(">")
+    return label, [(name, values[name]) for name in names], False
+
+
+def iter_events(
+    source: EventSource, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[XMLEvent]:
+    """Tokenize an XML document into a flat event stream.
+
+    Args:
+        source: the document — a whole string, an open text-mode file,
+            or any iterable of string chunks.
+        chunk_size: read size used when ``source`` is a file handle.
+
+    Yields:
+        ``(START, label)``, ``(ATTR, name, value)``, ``(TEXT, data)``,
+        and ``(END, label)`` tuples in document order.  Attribute events
+        immediately follow their element's START; every START is paired
+        with exactly one END.
+
+    Raises:
+        XMLParseError: on malformed input, with the same messages and
+            offsets as :func:`repro.xmltree.parser.parse_string`.
+    """
+    cursor = _StreamCursor(_chunk_iterator(source, chunk_size))
+    _skip_misc(cursor)
+    if cursor.peek() != "<":
+        raise XMLParseError("document has no root element", cursor.tell())
+
+    # Per open element: [label, saw a child element or attribute, saw
+    # non-whitespace character data].  The flags drive the mixed-content
+    # rule the tree parser applies at element close.
+    stack: List[List] = []
+
+    label, attributes, closed = _read_start_tag(cursor)
+    yield (START, label)
+    for name, value in attributes:
+        yield (ATTR, name, value)
+    if closed:
+        yield (END, label)
+    else:
+        stack.append([label, bool(attributes), False])
+
+    while stack:
+        cursor.compact()
+        if cursor.startswith("</"):
+            cursor.pos += 2
+            closing = cursor.read_name()
+            entry = stack.pop()
+            if closing != entry[0]:
+                raise XMLParseError(
+                    f"mismatched close tag </{closing}> for <{entry[0]}>",
+                    cursor.tell(),
+                )
+            cursor.skip_whitespace()
+            cursor.expect(">")
+            if entry[2] and entry[1]:
+                raise XMLParseError(
+                    f"element <{entry[0]}> mixes character data with child "
+                    "elements",
+                    cursor.tell(),
+                )
+            yield (END, closing)
+        elif cursor.startswith("<!--"):
+            cursor.pos += 4
+            cursor.read_until("-->")
+        elif cursor.startswith("<![CDATA["):
+            cursor.pos += 9
+            data = cursor.read_until("]]>")
+            if data:
+                if data.strip():
+                    stack[-1][2] = True
+                yield (TEXT, data)
+        elif cursor.startswith("<?"):
+            cursor.pos += 2
+            cursor.read_until("?>")
+        elif cursor.peek() == "<":
+            stack[-1][1] = True
+            label, attributes, closed = _read_start_tag(cursor)
+            yield (START, label)
+            for name, value in attributes:
+                yield (ATTR, name, value)
+            if closed:
+                yield (END, label)
+            else:
+                stack.append([label, bool(attributes), False])
+        else:
+            if cursor.eof():
+                raise XMLParseError(
+                    f"unterminated element <{stack[-1][0]}>", cursor.tell()
+                )
+            run = cursor.read_text_run()
+            if not run:
+                raise XMLParseError(
+                    f"unterminated element <{stack[-1][0]}>", cursor.tell()
+                )
+            if run.strip():
+                stack[-1][2] = True
+            yield (TEXT, _decode_entities(run))
+
+    _skip_misc(cursor)
+    if not cursor.eof():
+        raise XMLParseError("trailing content after root element", cursor.tell())

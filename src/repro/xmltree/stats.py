@@ -8,8 +8,13 @@ high-count paths).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
+from repro.xmltree.columnar import (
+    KIND_NUMERIC,
+    KIND_TO_TYPE,
+    ColumnarDocument,
+)
 from repro.xmltree.tree import XMLTree
 from repro.xmltree.types import ValueType
 
@@ -49,8 +54,90 @@ class TreeStatistics:
         return ranked[:limit]
 
 
-def collect_statistics(tree: XMLTree) -> TreeStatistics:
-    """Walk ``tree`` once and gather :class:`TreeStatistics`."""
+def _collect_columnar(doc: ColumnarDocument) -> TreeStatistics:
+    """Array-scan statistics over a columnar document.
+
+    Field-for-field equal to the object-tree walk on the equivalent
+    document: every aggregate is computed from the preorder columns
+    without materializing elements (depth via one pass over the parent
+    column — parents always precede children in preorder).
+    """
+    stats = TreeStatistics()
+    size = len(doc)
+    stats.element_count = size
+
+    depths = [0] * size
+    max_depth = 0
+    parent = doc.parent
+    for index in range(1, size):
+        depth = depths[parent[index]] + 1
+        depths[index] = depth
+        if depth > max_depth:
+            max_depth = depth
+    stats.max_depth = max_depth
+
+    label_id_counts: Dict[int, int] = {}
+    for label_id in doc.labels:
+        label_id_counts[label_id] = label_id_counts.get(label_id, 0) + 1
+    stats.label_counts = {
+        doc.label_table[label_id]: count
+        for label_id, count in label_id_counts.items()
+    }
+
+    path_id_counts: Dict[int, int] = {}
+    for path_id in doc.path_ids:
+        path_id_counts[path_id] = path_id_counts.get(path_id, 0) + 1
+    stats.path_counts = {
+        doc.path_tuple(path_id): count
+        for path_id, count in path_id_counts.items()
+    }
+
+    kind_counts: Dict[int, int] = {}
+    for kind in doc.value_kind:
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    stats.type_counts = {
+        KIND_TO_TYPE[kind]: count for kind, count in kind_counts.items()
+    }
+
+    if kind_counts.get(KIND_NUMERIC):
+        numeric_min = None
+        numeric_max = None
+        for ref, value in enumerate(doc.numeric_values):
+            overflow = doc.numeric_overflow.get(ref)
+            if overflow is not None:
+                value = overflow
+            if numeric_min is None or value < numeric_min:
+                numeric_min = value
+            if numeric_max is None or value > numeric_max:
+                numeric_max = value
+        stats.numeric_domain = (numeric_min, numeric_max)
+    stats.distinct_strings = len(set(doc.string_values))
+    # Streamed term sets are id tuples into the interned term table;
+    # frozen documents keep literal term sets.  Count distinct terms
+    # over the union of both forms.
+    term_table = doc.term_table
+    terms = set()
+    for term_set in doc.text_values:
+        if type(term_set) is tuple:
+            for term_id in term_set:
+                terms.add(term_table[term_id])
+        else:
+            terms.update(term_set)
+    stats.distinct_terms = len(terms)
+    return stats
+
+
+def collect_statistics(
+    document: Union[XMLTree, ColumnarDocument]
+) -> TreeStatistics:
+    """Walk the document once and gather :class:`TreeStatistics`.
+
+    Accepts either substrate; the columnar path runs as flat array
+    scans and produces field-identical statistics.
+    """
+    if isinstance(document, ColumnarDocument):
+        return _collect_columnar(document)
+    tree = document
     stats = TreeStatistics()
     numeric_min = None
     numeric_max = None

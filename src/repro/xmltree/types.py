@@ -72,6 +72,34 @@ def normalize_value(value: ElementValue) -> ElementValue:
     return value
 
 
+def tokenize_text_ordered(text: str) -> list:
+    """Distinct text terms in first-occurrence order.
+
+    Exactly the insertion sequence :func:`tokenize_text` feeds its set,
+    with duplicates dropped (a repeated ``set.add`` is a no-op, so the
+    deduplicated sequence rebuilds a layout-identical set).  The
+    columnar store keeps this order so it can reconstruct term sets
+    bit-compatible with the object parser's.
+    """
+    seen = set()
+    ordered = []
+    word = []
+    for ch in text.lower():
+        if ch.isalnum():
+            word.append(ch)
+        elif word:
+            term = "".join(word)
+            word = []
+            if term not in seen:
+                seen.add(term)
+                ordered.append(term)
+    if word:
+        term = "".join(word)
+        if term not in seen:
+            ordered.append(term)
+    return ordered
+
+
 def tokenize_text(text: str) -> TermSet:
     """Tokenize free text into the Boolean term set of the IR model.
 
@@ -81,13 +109,6 @@ def tokenize_text(text: str) -> TermSet:
     agree on term identity.
     """
     terms = set()
-    word = []
-    for ch in text.lower():
-        if ch.isalnum():
-            word.append(ch)
-        elif word:
-            terms.add("".join(word))
-            word = []
-    if word:
-        terms.add("".join(word))
+    for term in tokenize_text_ordered(text):
+        terms.add(term)
     return frozenset(terms)

@@ -103,6 +103,30 @@ class TestFailurePaths:
         assert any(
             f.kind == "serialization-divergence" for f in report.failures
         )
+        # ... as do the columnar-substrate baseline comparisons.
+        assert any(
+            f.kind == "columnar-divergence" for f in report.failures
+        )
+
+    def test_forced_columnar_divergence_is_reported(self, monkeypatch):
+        """Ingesting different bytes than the parser saw must surface as
+        a columnar-divergence failure, not pass silently."""
+        import repro.check.diffharness as diffharness_module
+
+        real_ingest = diffharness_module.ingest_string
+
+        def skewed(text, *args, **kwargs):
+            renamed = text.replace("<root", "<toor").replace("</root", "</toor")
+            return real_ingest(renamed, *args, **kwargs)
+
+        monkeypatch.setattr(diffharness_module, "ingest_string", skewed)
+        harness = DifferentialHarness(HarnessConfig(seed=11, rounds=1))
+        report = harness.run()
+        failures = [
+            f for f in report.failures if f.kind == "columnar-divergence"
+        ]
+        assert len(failures) == 1
+        assert "reference synopses" in failures[0].message
 
     def test_forced_build_divergence_shrinks_document(self, monkeypatch):
         config = HarnessConfig(seed=9, rounds=1, shrink_attempts=40)

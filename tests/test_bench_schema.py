@@ -1,0 +1,121 @@
+"""The versioned schema shared by every ``BENCH_*.json`` report.
+
+``benchmarks/common.py`` owns the schema and the writer; these tests
+pin the contract from both sides — the validator's judgments on
+synthetic reports, the writer's stamping/refusal behavior, and the
+checked-in report files themselves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKED_IN_REPORTS = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def _load_common():
+    spec = importlib.util.spec_from_file_location(
+        "bench_common", REPO_ROOT / "benchmarks" / "common.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+common = _load_common()
+
+
+def _valid_report():
+    return {
+        "schema_version": common.SCHEMA_VERSION,
+        "bench": "construction",
+        "dataset": "xmark",
+        "scale": 0.35,
+        "speedup": 2.5,
+        "equivalent": True,
+    }
+
+
+class TestValidator:
+    def test_accepts_a_minimal_valid_report(self):
+        assert common.validate_report(_valid_report()) == []
+
+    def test_rejects_non_object_reports(self):
+        assert common.validate_report([1, 2, 3])
+        assert common.validate_report(None)
+
+    @pytest.mark.parametrize("field", sorted(common.REQUIRED_FIELDS))
+    def test_each_required_field_is_enforced(self, field):
+        report = _valid_report()
+        del report[field]
+        issues = common.validate_report(report)
+        assert any(field in issue for issue in issues)
+
+    def test_rejects_mistyped_fields(self):
+        report = _valid_report()
+        report["speedup"] = "2.5"
+        assert common.validate_report(report)
+
+    def test_bool_is_not_a_number(self):
+        report = _valid_report()
+        report["speedup"] = True
+        assert common.validate_report(report)
+
+    def test_rejects_wrong_schema_version(self):
+        report = _valid_report()
+        report["schema_version"] = common.SCHEMA_VERSION + 1
+        assert common.validate_report(report)
+
+
+class TestWriter:
+    def test_stamps_version_and_bench(self, tmp_path):
+        out = tmp_path / "report.json"
+        body = {"dataset": "xmark", "scale": 0.1, "speedup": 3.0,
+                "equivalent": True}
+        path = common.write_report("ingest", body, str(out))
+        written = json.loads(out.read_text())
+        assert path == str(out)
+        assert written["schema_version"] == common.SCHEMA_VERSION
+        assert written["bench"] == "ingest"
+        assert "bench" not in body  # caller's dict is not mutated
+
+    def test_refuses_invalid_reports(self, tmp_path):
+        out = tmp_path / "report.json"
+        with pytest.raises(ValueError, match="invalid report"):
+            common.write_report("ingest", {"dataset": "xmark"}, str(out))
+        assert not out.exists()
+
+    def test_honors_output_override(self, tmp_path, monkeypatch):
+        out = tmp_path / "elsewhere.json"
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(out))
+        body = {"dataset": "imdb", "scale": 0.1, "speedup": 2.0,
+                "equivalent": True}
+        assert common.write_report("estimation", body, "ignored.json") == str(out)
+        assert out.exists()
+
+
+class TestCheckedInReports:
+    def test_all_four_benches_are_present(self):
+        names = {path.name for path in CHECKED_IN_REPORTS}
+        assert {
+            "BENCH_construction.json",
+            "BENCH_estimation.json",
+            "BENCH_value_kernels.json",
+            "BENCH_ingest.json",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", CHECKED_IN_REPORTS, ids=[p.name for p in CHECKED_IN_REPORTS]
+    )
+    def test_checked_in_report_is_schema_valid(self, path):
+        report = json.loads(path.read_text(encoding="utf-8"))
+        assert common.validate_report(report) == []
+        # The file name and the stamped bench name must agree.
+        assert path.name == f"BENCH_{report['bench']}.json"
+        # Parity is non-negotiable for a checked-in report.
+        assert report["equivalent"] is True

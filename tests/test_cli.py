@@ -38,6 +38,18 @@ class TestCli:
         estimate = float(capsys.readouterr().out.strip())
         assert estimate == pytest.approx(1.0, abs=0.5)
 
+    def test_ingest_reports_shape(self, xml_file, capsys):
+        assert main(["ingest", xml_file]) == 0
+        output = capsys.readouterr().out
+        assert "elements" in output
+        assert "column bytes" in output
+
+    def test_ingest_compare_verifies_parity(self, xml_file, capsys):
+        assert main(["ingest", xml_file, "--compare"]) == 0
+        output = capsys.readouterr().out
+        assert "reference synopsis parity: ok" in output
+        assert "statistics parity: ok" in output
+
     def test_missing_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
