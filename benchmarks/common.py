@@ -17,6 +17,13 @@ Schema v1 — every report carries:
 * ``equivalent`` — whether the optimized path reproduced the reference
   path's results exactly (the parity bit every bench must assert).
 
+Benches that enforce performance floors record them through the
+*optional* fields in :data:`OPTIONAL_FIELDS` — type-checked when
+present, so a report can never again claim ``speedup_asserted: true``
+while its floor actually described a different metric: the time floor
+lives in ``speedup_floor``/``speedup_asserted`` and the peak-memory
+floor in ``memory_floor``/``memory_asserted``/``memory_reduction``.
+
 Everything else in a report is bench-specific detail and deliberately
 unconstrained.
 """
@@ -40,6 +47,18 @@ REQUIRED_FIELDS = {
     "equivalent": (bool,),
 }
 
+#: Optional floor-assertion fields, type-checked when present.  The
+#: ``speedup_*`` pair describes the wall-clock floor and the
+#: ``memory_*`` triple the peak-memory floor — two separate assertions
+#: with two separate names.
+OPTIONAL_FIELDS = {
+    "speedup_floor": (int, float),
+    "speedup_asserted": (bool,),
+    "memory_floor": (int, float),
+    "memory_asserted": (bool,),
+    "memory_reduction": (int, float),
+}
+
 
 def validate_report(report: object) -> List[str]:
     """Schema-v1 problems with ``report`` (empty list = valid)."""
@@ -49,6 +68,17 @@ def validate_report(report: object) -> List[str]:
     for field, types in REQUIRED_FIELDS.items():
         if field not in report:
             issues.append(f"missing required field {field!r}")
+            continue
+        value = report[field]
+        if isinstance(value, bool) and bool not in types:
+            issues.append(f"field {field!r} is a bool, expected {types}")
+        elif not isinstance(value, types):
+            issues.append(
+                f"field {field!r} is {type(value).__name__}, expected "
+                + " or ".join(t.__name__ for t in types)
+            )
+    for field, types in OPTIONAL_FIELDS.items():
+        if field not in report:
             continue
         value = report[field]
         if isinstance(value, bool) and bool not in types:

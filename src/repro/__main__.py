@@ -8,7 +8,7 @@ Subcommands::
     python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title"
     python -m repro experiments [--scale 0.25] [--queries 15]
     python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json]
-    python -m repro ingest INPUT.xml [--compare]
+    python -m repro ingest INPUT.xml [--chunk-size N] [--compare]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
 and saves it; ``estimate`` loads a saved synopsis and prints the
@@ -39,6 +39,7 @@ from repro.core import (
 )
 from repro.query import evaluate_selectivity, parse_twig
 from repro.xmltree import parse_document
+from repro.xmltree.events import DEFAULT_CHUNK_SIZE
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -200,13 +201,21 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
     from repro.xmltree import ingest_file
 
+    source_bytes = os.path.getsize(args.input)
     started = perf_counter()
-    doc = ingest_file(args.input)
+    doc = ingest_file(args.input, chunk_size=args.chunk_size)
     ingest_seconds = perf_counter() - started
+    throughput = (
+        source_bytes / ingest_seconds / 1e6 if ingest_seconds > 0 else 0.0
+    )
     print(
         f"{args.input}: {len(doc)} elements, {len(doc.label_table)} labels, "
         f"{len(doc.path_parent)} paths, {len(doc.term_table)} terms, "
         f"{doc.nbytes()} column bytes in {ingest_seconds:.3f}s"
+    )
+    print(
+        f"throughput: {source_bytes / 1e6:.2f} MB in "
+        f"{args.chunk_size}-byte chunks -> {throughput:.1f} MB/s"
     )
     if not args.compare:
         return 0
@@ -311,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a document into the columnar store",
     )
     ingest.add_argument("input", help="XML document to ingest")
+    ingest.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="streaming read size in bytes (default %(default)s)",
+    )
     ingest.add_argument(
         "--compare",
         action="store_true",

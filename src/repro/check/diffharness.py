@@ -19,7 +19,13 @@ exercises them on *arbitrary* documents, generated from a seed:
    object-tree parser and the event-stream columnar ingestor: the
    reference synopses and the budgeted builds must be bit-identical
    across substrates, and the columnar build must reproduce the
-   round's baseline estimates.
+   round's baseline estimates;
+8. pit the production byte-level tokenizer against the character-scan
+   oracle (:func:`repro.xmltree.events.iter_events_str`) on the
+   serialized document *and* on mutated — usually malformed — variants
+   of it, whole and randomly chunked: token streams, error messages,
+   and error offsets must all agree.  Diverging inputs are shrunk
+   character-wise (:func:`repro.check.shrink.shrink_text`).
 
 Every failure records the round seed — re-running the harness with
 ``HarnessConfig(seed=<that seed>, rounds=1)`` reproduces it exactly —
@@ -38,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.check.invariants import InvariantAuditor
 from repro.check.report import CheckReport, Failure
-from repro.check.shrink import shrink_document, shrink_query
+from repro.check.shrink import shrink_document, shrink_query, shrink_text
 from repro.core.builder import BuildConfig, XClusterBuilder
 from repro.core.estimation import CompiledEstimator
 from repro.core.estimator import XClusterEstimator
@@ -51,7 +57,8 @@ from repro.query.ast import TwigQuery
 from repro.workload.generator import TwigWorkloadGenerator, WorkloadConfig
 from repro.workload.negative import make_negative_workload
 from repro.xmltree.columnar import ingest_string
-from repro.xmltree.parser import parse_string
+from repro.xmltree.events import iter_events, iter_events_str
+from repro.xmltree.parser import XMLParseError, parse_string
 from repro.xmltree.serializer import serialize
 from repro.xmltree.tree import XMLElement, XMLTree
 from repro.xmltree.types import ValueType
@@ -68,6 +75,20 @@ _TERM_POOL = tuple(
     first + second
     for first in ("data", "meta", "node", "tree", "leaf", "path", "term", "word")
     for second in ("alpha", "beta", "gamma", "delta", "omega", "sigma")
+)
+
+#: Characters the tokenizer-round mutator splices into serialized
+#: documents: markup delimiters, entity machinery, quotes — the inputs
+#: most likely to desynchronize a byte scanner from a character scanner.
+_MUTATION_CHARS = "<>&;/='\"!?-#x "
+
+#: Larger splices: well-formed and malformed entity references, plus
+#: non-ASCII text (2-, 3-, and 4-byte UTF-8, and a non-ASCII space that
+#: ``str.isspace`` accepts but the byte scanner's ASCII tables must not).
+_MUTATION_SNIPPETS = (
+    "&amp;", "&lt;", "&#65;", "&#x41;",
+    "&amp", "&#;", "&#xg;", "&nosuch;",
+    "é", "Ωλ", "日本語", "\U0001f642", " ",
 )
 
 
@@ -165,6 +186,8 @@ class HarnessConfig:
         shrink: whether failing documents/queries are minimized.
         shrink_attempts: predicate-evaluation budget per shrink.
         audit_predicate_limit: atomic predicates probed per summary.
+        tokenizer_variants: mutated-document probes per tokenizer round
+            (the pristine serialization is always probed as well).
         document: document-shape configuration.
     """
 
@@ -177,7 +200,43 @@ class HarnessConfig:
     shrink: bool = True
     shrink_attempts: int = 120
     audit_predicate_limit: int = 8
+    tokenizer_variants: int = 6
     document: DocumentConfig = field(default_factory=DocumentConfig)
+
+
+def _stream_outcome(tokenizer, source) -> Tuple:
+    """``(events, error)`` from draining one tokenizer on one source.
+
+    ``error`` is ``None`` on success, else ``(message, offset)``.  Two
+    tokenizers agree exactly when their outcomes compare equal: same
+    events in order, and — on malformed input — the same error at the
+    same character offset after the same event prefix.
+    """
+    events = []
+    try:
+        for event in tokenizer(source):
+            events.append(event)
+    except XMLParseError as err:
+        return tuple(events), (str(err), err.position)
+    return tuple(events), None
+
+
+def _outcome_summary(outcome: Tuple) -> str:
+    events, error = outcome
+    if error is None:
+        return f"{len(events)} events, clean"
+    return f"{len(events)} events, then {error[0]!r}"
+
+
+def _random_chunks(data, rng: random.Random) -> List:
+    """Split ``data`` (str or bytes) at random 1-7 unit boundaries."""
+    chunks = []
+    pos = 0
+    while pos < len(data):
+        step = rng.randint(1, 7)
+        chunks.append(data[pos:pos + step])
+        pos += step
+    return chunks
 
 
 def _build_shape(synopsis: XClusterSynopsis) -> Tuple:
@@ -270,6 +329,9 @@ class DifferentialHarness:
         report.failures.extend(
             self._columnar_failures(seed, document, queries, baseline)
         )
+        # Last stage, so its rng draws never perturb the seeds that
+        # reproduce failures from the earlier stages.
+        report.failures.extend(self._tokenizer_failures(seed, document, rng))
         return report
 
     # -- stages ---------------------------------------------------------------
@@ -505,6 +567,103 @@ class DifferentialHarness:
                     )
                 )
         return failures
+
+    def _tokenizer_failures(
+        self, seed: int, document: XMLTree, rng: random.Random
+    ) -> List[Failure]:
+        """The tokenizer-parity round.
+
+        Serialize the round's document, derive mutated — usually
+        malformed — variants of it, and require the production byte
+        scanner (:func:`iter_events`) to reproduce the character-scan
+        oracle (:func:`iter_events_str`) exactly on every variant:
+        identical event streams on well-formed input, identical error
+        message and character offset on malformed input, whole and
+        randomly chunked (byte chunks may split inside multi-byte
+        UTF-8 sequences).  A diverging input is shrunk character-wise
+        with :func:`shrink_text`; for this kind, ``document_size`` and
+        ``shrunk_size`` count characters, not elements.
+        """
+        failures: List[Failure] = []
+        pristine = serialize(document)
+        variants = [pristine] + [
+            self._mutate_text(pristine, rng)
+            for _ in range(self.config.tokenizer_variants)
+        ]
+        for variant in variants:
+            message = self._tokenizer_diverges(variant)
+            if message is None:
+                continue
+            failure = Failure(
+                kind="tokenizer-divergence",
+                seed=seed,
+                message=message,
+                document_size=len(variant),
+            )
+            if self.config.shrink:
+                shrunk = shrink_text(
+                    variant,
+                    lambda text: self._tokenizer_diverges(text) is not None,
+                    max_attempts=self.config.shrink_attempts,
+                )
+                failure.shrunk_size = len(shrunk)
+                failure.shrunk_document = shrunk
+            failures.append(failure)
+        return failures
+
+    def _mutate_text(self, text: str, rng: random.Random) -> str:
+        """One mutated variant of a serialized document (1-3 edits)."""
+        for _ in range(rng.randint(1, 3)):
+            op = rng.randrange(5)
+            if op == 0 and len(text) > 1:  # delete a span
+                start = rng.randrange(len(text))
+                text = text[:start] + text[start + rng.randint(1, 8):]
+            elif op == 1:  # splice in a markup character
+                at = rng.randint(0, len(text))
+                text = text[:at] + rng.choice(_MUTATION_CHARS) + text[at:]
+            elif op == 2 and text:  # overwrite one character
+                at = rng.randrange(len(text))
+                text = text[:at] + rng.choice(_MUTATION_CHARS) + text[at + 1:]
+            elif op == 3:  # splice in an entity/unicode snippet
+                at = rng.randint(0, len(text))
+                text = text[:at] + rng.choice(_MUTATION_SNIPPETS) + text[at:]
+            else:  # truncate the tail
+                text = text[: rng.randint(0, len(text))]
+        return text
+
+    def _tokenizer_diverges(self, text: str) -> Optional[str]:
+        """First tokenizer-parity violation on ``text``, or ``None``.
+
+        Chunk boundaries come from a fixed-seed rng, so the verdict is
+        a pure function of ``text`` — which is what makes
+        :func:`shrink_text`'s predicate re-runs meaningful.
+        """
+        expected = _stream_outcome(iter_events_str, text)
+        chunk_rng = random.Random(0xC0FFEE)
+        data = text.encode("utf-8", "surrogatepass")
+        probes = (
+            ("byte scan of the whole str", iter_events, text),
+            ("byte scan of the whole bytes", iter_events, data),
+            (
+                "byte scan over random byte chunks",
+                iter_events,
+                iter(_random_chunks(data, chunk_rng)),
+            ),
+            (
+                "char scan over random str chunks",
+                iter_events_str,
+                iter(_random_chunks(text, chunk_rng)),
+            ),
+        )
+        for name, tokenizer, source in probes:
+            actual = _stream_outcome(tokenizer, source)
+            if actual != expected:
+                return (
+                    f"{name} disagrees with the char-scan oracle: "
+                    f"{_outcome_summary(actual)} vs "
+                    f"{_outcome_summary(expected)}"
+                )
+        return None
 
     def _serialization_failures(
         self,

@@ -106,6 +106,43 @@ def shrink_document(
     return current
 
 
+def shrink_text(
+    text: str,
+    fails: Callable[[str], bool],
+    max_attempts: int = 200,
+) -> str:
+    """Greedily minimize a failing raw string (ddmin-style).
+
+    For failures whose counterexample is not a well-formed document —
+    the tokenizer-parity round fuzzes *malformed* inputs — subtree
+    removal is meaningless, so minimize the character string itself:
+    repeatedly delete spans, halving the span size whenever a full
+    sweep removes nothing, until single-character deletions stop
+    helping or the predicate-evaluation budget runs out.
+
+    Returns a string no longer than ``text`` for which ``fails`` still
+    holds (the input itself in the worst case).
+    """
+    attempts = 0
+    span = max(1, len(text) // 2)
+    while attempts < max_attempts:
+        removed = False
+        index = 0
+        while index < len(text) and attempts < max_attempts:
+            candidate = text[:index] + text[index + span :]
+            attempts += 1
+            if len(candidate) < len(text) and fails(candidate):
+                text = candidate
+                removed = True
+            else:
+                index += span
+        if not removed:
+            if span == 1:
+                break
+            span = max(1, span // 2)
+    return text
+
+
 def copy_query(query: TwigQuery) -> TwigQuery:
     """A deep copy of a twig (edges and predicates shared, they are frozen)."""
     return TwigQuery(_copy_query_node(query.root))

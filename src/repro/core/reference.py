@@ -26,6 +26,8 @@ calls out.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import islice
 from typing import (
     Callable,
     Dict,
@@ -95,20 +97,26 @@ def _refine_classes(
             children_of[parent_index].append(index)
 
     for _ in range(MAX_REFINEMENT_ROUNDS):
+        # The sorted tuple of child classes is multiset-equivalent to the
+        # sorted (class, count) items it replaces: two elements get equal
+        # keys under one encoding exactly when they do under the other,
+        # and keys are interned in the same first-occurrence order — so
+        # the class numbering is unchanged, only cheaper to compute.
+        parent_classes = list(map(classes.__getitem__, parents))
+        if size:
+            parent_classes[0] = -1  # the root's parent index is -1
+        lookup = classes.__getitem__
         interned: Dict[Tuple, int] = {}
-        refined: List[int] = [0] * size
-        for index in range(size):
-            child_counts: Dict[int, int] = {}
-            for child_index in children_of[index]:
-                child_class = classes[child_index]
-                child_counts[child_class] = child_counts.get(child_class, 0) + 1
-            parent_class = classes[parents[index]] if parents[index] >= 0 else -1
-            key = (
-                classes[index],
-                parent_class,
-                tuple(sorted(child_counts.items())),
+        setdefault = interned.setdefault
+        refined = [
+            setdefault(
+                (own, parent_class, tuple(sorted(map(lookup, kids)))),
+                len(interned),
             )
-            refined[index] = interned.setdefault(key, len(interned))
+            for own, parent_class, kids in zip(
+                classes, parent_classes, children_of
+            )
+        ]
         refined_count = len(interned)
         if refined_count == class_count:
             return classes  # refinement is a pure split: same count => stable
@@ -217,14 +225,14 @@ def build_synopsis_from_classes(
     )
 
 
-def _columnar_columns(
-    doc: ColumnarDocument,
-) -> Tuple[List[str], List[ValueType]]:
-    """Decode the interned label/kind columns once, as flat lists."""
-    table = doc.label_table
-    labels = [table[label_id] for label_id in doc.labels]
-    vtypes = [KIND_TO_TYPE[kind] for kind in doc.value_kind]
-    return labels, vtypes
+def _intern_column(keys: List[int]) -> List[int]:
+    """Dense class ids for a key column, in first-occurrence order.
+
+    Equivalent to a ``setdefault(key, len(interned))`` scan but runs as
+    two C-level passes (``dict.fromkeys`` then a ``map`` lookup).
+    """
+    ids = {key: index for index, key in enumerate(dict.fromkeys(keys))}
+    return list(map(ids.__getitem__, keys))
 
 
 def _columnar_reference_classes(doc: ColumnarDocument) -> List[int]:
@@ -235,14 +243,83 @@ def _columnar_reference_classes(doc: ColumnarDocument) -> List[int]:
     column is identical to the object path's ``(path, value_type)``
     interning.
     """
-    interned: Dict[int, int] = {}
-    pids = doc.path_ids
+    return _intern_column(
+        [(pid << 2) | kind for pid, kind in zip(doc.path_ids, doc.value_kind)]
+    )
+
+
+def _assemble_columnar(
+    doc: ColumnarDocument,
+    classes: List[int],
+    value_paths: Optional[Sequence[LabelPath]],
+    config: Optional[SummaryConfig] = None,
+    with_summaries: bool = True,
+) -> XClusterSynopsis:
+    """Whole-column synopsis assembly over the columnar store.
+
+    Produces exactly what :func:`_assemble_synopsis` produces for the
+    same class column — ``Counter`` and ``dict(zip(...))`` preserve the
+    per-index loop's first-occurrence insertion order (and its
+    last-write-wins label/type values, which are class-constant anyway)
+    — but every aggregate runs as a C-level column pass.  Value
+    gathering consults a per-path-id wanted bitmap instead of building a
+    label-path tuple per element.
+    """
+    config = config if config is not None else SummaryConfig()
+    table = doc.label_table
     kinds = doc.value_kind
-    setdefault = interned.setdefault
-    return [
-        setdefault((pids[i] << 2) | kinds[i], len(interned))
-        for i in range(len(pids))
-    ]
+    counts = Counter(classes)
+    node_labels = dict(zip(classes, map(table.__getitem__, doc.labels)))
+    node_vtypes = dict(
+        zip(classes, map(KIND_TO_TYPE.__getitem__, kinds))
+    )
+    edge_totals = Counter(
+        zip(
+            map(classes.__getitem__, islice(doc.parent, 1, None)),
+            islice(classes, 1, None),
+        )
+    )
+
+    values: Dict[int, list] = {}
+    if with_summaries:
+        path_total = len(doc.path_parent)
+        if value_paths is None:
+            wanted = [True] * path_total
+        else:
+            exact: Set[LabelPath] = {
+                path for path in value_paths if "*" not in path
+            }
+            wildcard: List[LabelPath] = [
+                path for path in value_paths if "*" in path
+            ]
+            wanted = [
+                path in exact or matches_any(path, wildcard)
+                for path in map(doc.path_tuple, range(path_total))
+            ]
+        pids = doc.path_ids
+        value_of = doc.value
+        for index, kind in enumerate(kinds):
+            if kind and wanted[pids[index]]:  # kind 0 is KIND_NULL
+                values.setdefault(classes[index], []).append(value_of(index))
+
+    synopsis = XClusterSynopsis()
+    node_of: Dict[int, SynopsisNode] = {}
+    for key, count in counts.items():
+        vals = values.get(key)
+        vsumm = (
+            build_summary(node_vtypes[key], vals, config)
+            if vals is not None
+            else None
+        )
+        node_of[key] = synopsis.add_node(
+            node_labels[key], node_vtypes[key], count, vsumm
+        )
+    for (parent_key, child_key), total in edge_totals.items():
+        synopsis.add_edge(
+            node_of[parent_key], node_of[child_key], total / counts[parent_key]
+        )
+    synopsis.set_root(node_of[classes[0]])
+    return synopsis
 
 
 def build_reference_synopsis(
@@ -262,18 +339,8 @@ def build_reference_synopsis(
     if isinstance(document, ColumnarDocument):
         initial = _columnar_reference_classes(document)
         classes = _refine_classes(len(document), document.parent, initial)
-        labels, vtypes = _columnar_columns(document)
-        return _assemble_synopsis(
-            len(document),
-            document.parent,
-            labels,
-            vtypes,
-            document.value,
-            document.label_path,
-            classes,
-            value_paths,
-            config,
-            with_summaries,
+        return _assemble_columnar(
+            document, classes, value_paths, config, with_summaries
         )
     elements, parents, paths = _document_order(document)
     interned: Dict[Tuple, int] = {}
@@ -290,33 +357,18 @@ def build_reference_synopsis(
 def _build_with_classifier(
     document: Document,
     classify: Callable[[XMLElement, LabelPath], Hashable],
-    columnar_key: Callable[[ColumnarDocument, int], Hashable],
+    columnar_keys: Callable[[ColumnarDocument], List[int]],
     value_paths: Optional[Sequence[LabelPath]],
     config: Optional[SummaryConfig],
     with_summaries: bool,
 ) -> XClusterSynopsis:
     if isinstance(document, ColumnarDocument):
-        doc = document
-        interned: Dict[Hashable, int] = {}
-        classes = [
-            interned.setdefault(columnar_key(doc, i), len(interned))
-            for i in range(len(doc))
-        ]
-        labels, vtypes = _columnar_columns(doc)
-        return _assemble_synopsis(
-            len(doc),
-            doc.parent,
-            labels,
-            vtypes,
-            doc.value,
-            doc.label_path,
-            classes,
-            value_paths,
-            config,
-            with_summaries,
+        classes = _intern_column(columnar_keys(document))
+        return _assemble_columnar(
+            document, classes, value_paths, config, with_summaries
         )
     elements, parents, paths = _document_order(document)
-    interned = {}
+    interned: Dict[Hashable, int] = {}
     classes = [
         interned.setdefault(classify(elements[i], paths[i]), len(interned))
         for i in range(len(elements))
@@ -340,7 +392,10 @@ def build_path_synopsis(
     return _build_with_classifier(
         document,
         lambda element, path: (path, element.value_type),
-        lambda doc, i: (doc.path_ids[i] << 2) | doc.value_kind[i],
+        lambda doc: [
+            (pid << 2) | kind
+            for pid, kind in zip(doc.path_ids, doc.value_kind)
+        ],
         value_paths,
         config,
         with_summaries,
@@ -361,7 +416,10 @@ def build_tag_synopsis(
     return _build_with_classifier(
         document,
         lambda element, path: (element.label, element.value_type),
-        lambda doc, i: (doc.labels[i] << 2) | doc.value_kind[i],
+        lambda doc: [
+            (label_id << 2) | kind
+            for label_id, kind in zip(doc.labels, doc.value_kind)
+        ],
         value_paths,
         config,
         with_summaries,

@@ -444,6 +444,13 @@ def from_events(
     value typing applies the tree parser's exact heuristic (``type_map``
     and ``text_word_threshold`` have :func:`~repro.xmltree.parser.
     parse_string` semantics).
+
+    This is the ingest hot loop: every column, intern table, and stack
+    is bound to a local, and node/path appends are inlined rather than
+    routed through :func:`_append_node` / :func:`_intern_path` (which
+    remain the readable single-node reference used by :func:`freeze`).
+    The stored columns are bit-identical either way — pinned by the
+    freeze-vs-ingest equality test.
     """
     type_map = type_map or {}
     doc = ColumnarDocument()
@@ -455,47 +462,118 @@ def from_events(
     open_pids: List[int] = []
     open_text: List[List[str]] = []
 
+    labels_col = doc.labels
+    parent_col = doc.parent
+    first_child = doc.first_child
+    next_sibling = doc.next_sibling
+    path_ids = doc.path_ids
+    path_parent = doc.path_parent
+    path_label = doc.path_label
+    value_kind = doc.value_kind
+    value_ref = doc.value_ref
+    label_table = doc.label_table
+    label_index = doc.label_index
+    string_values = doc.string_values
+    numeric_values = doc.numeric_values
+    numeric_overflow = doc.numeric_overflow
+
     for event in events:
         kind = event[0]
-        if kind is TEXT or kind == TEXT:
-            open_text[-1].append(event[1])
-        elif kind is START or kind == START:
-            label_id = doc._label_id(event[1])
-            parent_index = open_nodes[-1] if open_nodes else -1
-            parent_pid = open_pids[-1] if open_pids else -1
-            index = _append_node(doc, label_id, parent_index, last_child)
-            doc.path_ids.append(
-                _intern_path(doc, parent_pid, label_id, path_index)
-            )
-            open_nodes.append(index)
-            open_pids.append(doc.path_ids[index])
-            open_text.append([])
+        if kind is START or kind is ATTR or kind == START or kind == ATTR:
+            if kind is START or kind == START:
+                label = event[1]
+                parent_index = open_nodes[-1] if open_nodes else -1
+                parent_pid = open_pids[-1] if open_pids else -1
+            else:
+                # Attributes become @name children with raw STRING
+                # values, exactly as the tree parser materializes them.
+                label = "@" + event[1]
+                parent_index = open_nodes[-1]
+                parent_pid = open_pids[-1]
+            label_id = label_index.get(label)
+            if label_id is None:
+                label_id = len(label_table)
+                label_index[label] = label_id
+                label_table.append(label)
+            index = len(labels_col)
+            labels_col.append(label_id)
+            parent_col.append(parent_index)
+            first_child.append(-1)
+            next_sibling.append(-1)
+            value_kind.append(KIND_NULL)
+            value_ref.append(-1)
+            last_child.append(-1)
+            if parent_index >= 0:
+                previous = last_child[parent_index]
+                if previous >= 0:
+                    next_sibling[previous] = index
+                else:
+                    first_child[parent_index] = index
+                last_child[parent_index] = index
+            key = (parent_pid, label_id)
+            pid = path_index.get(key)
+            if pid is None:
+                pid = len(path_parent)
+                path_index[key] = pid
+                path_parent.append(parent_pid)
+                path_label.append(label_id)
+            path_ids.append(pid)
+            if kind is START or kind == START:
+                open_nodes.append(index)
+                open_pids.append(pid)
+                open_text.append([])
+            else:
+                value_kind[index] = KIND_STRING
+                value_ref[index] = len(string_values)
+                string_values.append(event[2])
         elif kind is END or kind == END:
             index = open_nodes.pop()
             pid = open_pids.pop()
-            raw = "".join(open_text.pop())
-            if raw.strip():
-                typed = _typed_value(
-                    raw, doc.path_tuple(pid), type_map, text_word_threshold
-                )
-                if type(typed) is frozenset:
-                    _store_text_terms(
-                        doc, index, tokenize_text_ordered(raw)
+            chunks = open_text.pop()
+            if chunks:
+                raw = chunks[0] if len(chunks) == 1 else "".join(chunks)
+                stripped = raw.strip()
+                if not stripped:
+                    pass
+                elif type_map:
+                    # Forced types are rare enough to route through the
+                    # parser's helper verbatim (it needs the path tuple).
+                    typed = _typed_value(
+                        raw, doc.path_tuple(pid), type_map,
+                        text_word_threshold,
                     )
+                    if type(typed) is frozenset:
+                        _store_text_terms(
+                            doc, index, tokenize_text_ordered(raw)
+                        )
+                    elif typed is not None:
+                        _store_value(doc, index, typed)
                 else:
-                    _store_value(doc, index, typed)
-        elif kind is ATTR or kind == ATTR:
-            # Attributes become @name children with raw STRING values,
-            # exactly as the tree parser materializes them.
-            label_id = doc._label_id("@" + event[1])
-            parent_index = open_nodes[-1]
-            index = _append_node(doc, label_id, parent_index, last_child)
-            doc.path_ids.append(
-                _intern_path(doc, open_pids[-1], label_id, path_index)
-            )
-            doc.value_kind[index] = KIND_STRING
-            doc.value_ref[index] = len(doc.string_values)
-            doc.string_values.append(event[2])
+                    # ``_typed_value``'s default heuristic, inlined so
+                    # TEXT values tokenize exactly once and no label-path
+                    # tuple is materialized per valued element.
+                    try:
+                        number = int(stripped)
+                    except ValueError:
+                        if len(stripped.split()) >= text_word_threshold:
+                            _store_text_terms(
+                                doc, index, tokenize_text_ordered(raw)
+                            )
+                        else:
+                            value_kind[index] = KIND_STRING
+                            value_ref[index] = len(string_values)
+                            string_values.append(stripped)
+                    else:
+                        ref = len(numeric_values)
+                        if _Q_MIN <= number <= _Q_MAX:
+                            numeric_values.append(number)
+                        else:
+                            numeric_values.append(0)
+                            numeric_overflow[ref] = number
+                        value_kind[index] = KIND_NUMERIC
+                        value_ref[index] = ref
+        elif kind is TEXT or kind == TEXT:
+            open_text[-1].append(event[1])
         else:  # pragma: no cover - the tokenizer emits no other kinds
             raise ValueError(f"unknown event kind {kind!r}")
     return doc
@@ -510,6 +588,29 @@ def ingest_string(
     return from_events(iter_events(text), type_map, text_word_threshold)
 
 
+def _newline_normalized(chunks) -> Iterator[bytes]:
+    """Apply universal-newline translation to a byte-chunk stream.
+
+    ``parse_document`` reads its file in text mode, which maps ``\\r\\n``
+    and lone ``\\r`` to ``\\n``; the streaming path reads raw bytes for
+    speed, so the same translation happens here (two C-level replaces
+    per chunk, with a one-byte carry for a ``\\r`` on a chunk edge) to
+    keep byte-for-byte input parity between the substrates.
+    """
+    pending_cr = False
+    for chunk in chunks:
+        if pending_cr:
+            chunk = b"\r" + chunk
+        pending_cr = chunk.endswith(b"\r")
+        if pending_cr:
+            chunk = chunk[:-1]
+        chunk = chunk.replace(b"\r\n", b"\n").replace(b"\r", b"\n")
+        if chunk:
+            yield chunk
+    if pending_cr:
+        yield b"\n"
+
+
 def ingest_file(
     path: str,
     type_map: Optional[Mapping[TypeKey, ValueType]] = None,
@@ -520,11 +621,23 @@ def ingest_file(
 
     Unlike :func:`repro.xmltree.parser.parse_document`, the source is
     never fully resident: the tokenizer holds one bounded window of the
-    file while the columns grow.
+    file while the columns grow.  The file is read in binary mode —
+    the byte tokenizer never decodes markup — with universal-newline
+    translation matching the object parser's text-mode read.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "rb") as handle:
+
+        def _chunks() -> Iterator[bytes]:
+            while True:
+                chunk = handle.read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+
         return from_events(
-            iter_events(handle, chunk_size), type_map, text_word_threshold
+            iter_events(_newline_normalized(_chunks())),
+            type_map,
+            text_word_threshold,
         )
 
 

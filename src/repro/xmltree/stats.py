@@ -7,6 +7,7 @@ high-count paths).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple, Union
 
@@ -58,72 +59,60 @@ def _collect_columnar(doc: ColumnarDocument) -> TreeStatistics:
     """Array-scan statistics over a columnar document.
 
     Field-for-field equal to the object-tree walk on the equivalent
-    document: every aggregate is computed from the preorder columns
-    without materializing elements (depth via one pass over the parent
-    column — parents always precede children in preorder).
+    document, but every aggregate runs as a whole-column pass:
+    ``Counter`` over the interned id columns, depth over the path table
+    (whose rows biject with the distinct label paths, so its maximum
+    depth is the document's), and ``min``/``max`` straight over the
+    packed numeric column with the overflow side table patched in.
     """
     stats = TreeStatistics()
     size = len(doc)
     stats.element_count = size
 
-    depths = [0] * size
-    max_depth = 0
-    parent = doc.parent
-    for index in range(1, size):
-        depth = depths[parent[index]] + 1
-        depths[index] = depth
-        if depth > max_depth:
-            max_depth = depth
-    stats.max_depth = max_depth
+    # Path-table rows are interned parent-first, so one pass suffices;
+    # every row was interned for at least one element, so the deepest
+    # row is the deepest element.
+    path_parent = doc.path_parent
+    path_depths = [0] * len(path_parent)
+    for pid, parent_pid in enumerate(path_parent):
+        if parent_pid >= 0:
+            path_depths[pid] = path_depths[parent_pid] + 1
+    stats.max_depth = max(path_depths, default=0)
 
-    label_id_counts: Dict[int, int] = {}
-    for label_id in doc.labels:
-        label_id_counts[label_id] = label_id_counts.get(label_id, 0) + 1
     stats.label_counts = {
         doc.label_table[label_id]: count
-        for label_id, count in label_id_counts.items()
+        for label_id, count in Counter(doc.labels).items()
     }
-
-    path_id_counts: Dict[int, int] = {}
-    for path_id in doc.path_ids:
-        path_id_counts[path_id] = path_id_counts.get(path_id, 0) + 1
     stats.path_counts = {
         doc.path_tuple(path_id): count
-        for path_id, count in path_id_counts.items()
+        for path_id, count in Counter(doc.path_ids).items()
     }
-
-    kind_counts: Dict[int, int] = {}
-    for kind in doc.value_kind:
-        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    kind_counts = Counter(doc.value_kind)
     stats.type_counts = {
         KIND_TO_TYPE[kind]: count for kind, count in kind_counts.items()
     }
 
     if kind_counts.get(KIND_NUMERIC):
-        numeric_min = None
-        numeric_max = None
-        for ref, value in enumerate(doc.numeric_values):
-            overflow = doc.numeric_overflow.get(ref)
-            if overflow is not None:
-                value = overflow
-            if numeric_min is None or value < numeric_min:
-                numeric_min = value
-            if numeric_max is None or value > numeric_max:
-                numeric_max = value
-        stats.numeric_domain = (numeric_min, numeric_max)
+        values = doc.numeric_values
+        if doc.numeric_overflow:
+            values = list(values)
+            for ref, value in doc.numeric_overflow.items():
+                values[ref] = value
+        stats.numeric_domain = (min(values), max(values))
     stats.distinct_strings = len(set(doc.string_values))
     # Streamed term sets are id tuples into the interned term table;
     # frozen documents keep literal term sets.  Count distinct terms
     # over the union of both forms.
-    term_table = doc.term_table
-    terms = set()
+    term_ids: set = set()
+    literal_terms: set = set()
     for term_set in doc.text_values:
         if type(term_set) is tuple:
-            for term_id in term_set:
-                terms.add(term_table[term_id])
+            term_ids.update(term_set)
         else:
-            terms.update(term_set)
-    stats.distinct_terms = len(terms)
+            literal_terms.update(term_set)
+    if term_ids:
+        literal_terms.update(map(doc.term_table.__getitem__, term_ids))
+    stats.distinct_terms = len(literal_terms)
     return stats
 
 

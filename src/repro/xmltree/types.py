@@ -14,6 +14,7 @@ four types:
 from __future__ import annotations
 
 import enum
+import re
 from typing import FrozenSet, Optional, Union
 
 #: A TEXT value is a set of terms (the Boolean-vector IR model of the
@@ -72,6 +73,13 @@ def normalize_value(value: ElementValue) -> ElementValue:
     return value
 
 
+#: Maximal runs of alphanumeric characters.  ``\w`` is exactly
+#: ``str.isalnum`` plus the underscore, so ``[^\W_]`` matches the same
+#: character class the old per-character ``isalnum`` scan accepted —
+#: including non-ASCII letters and digits.
+_TERM_RE = re.compile(r"[^\W_]+")
+
+
 def tokenize_text_ordered(text: str) -> list:
     """Distinct text terms in first-occurrence order.
 
@@ -79,25 +87,10 @@ def tokenize_text_ordered(text: str) -> list:
     with duplicates dropped (a repeated ``set.add`` is a no-op, so the
     deduplicated sequence rebuilds a layout-identical set).  The
     columnar store keeps this order so it can reconstruct term sets
-    bit-compatible with the object parser's.
+    bit-compatible with the object parser's.  Runs as two C-level
+    passes: one regex scan, one ``dict.fromkeys`` dedup.
     """
-    seen = set()
-    ordered = []
-    word = []
-    for ch in text.lower():
-        if ch.isalnum():
-            word.append(ch)
-        elif word:
-            term = "".join(word)
-            word = []
-            if term not in seen:
-                seen.add(term)
-                ordered.append(term)
-    if word:
-        term = "".join(word)
-        if term not in seen:
-            ordered.append(term)
-    return ordered
+    return list(dict.fromkeys(_TERM_RE.findall(text.lower())))
 
 
 def tokenize_text(text: str) -> TermSet:
@@ -106,9 +99,8 @@ def tokenize_text(text: str) -> TermSet:
     Lower-cases, splits on non-alphanumeric characters, and drops empty
     tokens; this is the canonical text-to-term-vector mapping used by the
     parser, the datasets, and the exact evaluator alike so that all layers
-    agree on term identity.
+    agree on term identity.  The interim ``set`` keeps the frozenset's
+    insertion sequence identical to the historical ``set.add`` loop, so
+    stored term-set layouts are unchanged.
     """
-    terms = set()
-    for term in tokenize_text_ordered(text):
-        terms.add(term)
-    return frozenset(terms)
+    return frozenset(set(tokenize_text_ordered(text)))

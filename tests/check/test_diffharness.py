@@ -19,7 +19,13 @@ from repro.check import (
     HarnessConfig,
     run_differential_check,
 )
-from repro.check.shrink import copy_query, copy_tree, shrink_document, shrink_query
+from repro.check.shrink import (
+    copy_query,
+    copy_tree,
+    shrink_document,
+    shrink_query,
+    shrink_text,
+)
 from repro.query.xpath import parse_twig
 from repro.xmltree.parser import parse_string
 from repro.xmltree.serializer import serialize
@@ -145,6 +151,60 @@ class TestFailurePaths:
         assert failure.shrunk_size <= failure.document_size
         assert failure.shrunk_document  # serialized counterexample
 
+    def test_forced_tokenizer_divergence_is_reported_and_shrunk(
+        self, monkeypatch
+    ):
+        """A byte scanner that mangles one label must surface as a
+        tokenizer-divergence failure with a character-shrunk input."""
+        import repro.check.diffharness as diffharness_module
+
+        real_iter_events = diffharness_module.iter_events
+
+        def skewed(source, *args, **kwargs):
+            for event in real_iter_events(source, *args, **kwargs):
+                if event[0] == "start" and event[1] == "item":
+                    yield ("start", "meti")
+                else:
+                    yield event
+
+        monkeypatch.setattr(diffharness_module, "iter_events", skewed)
+        harness = DifferentialHarness(
+            HarnessConfig(seed=11, rounds=1, shrink_attempts=400)
+        )
+        report = harness.run()
+        failures = [
+            f for f in report.failures if f.kind == "tokenizer-divergence"
+        ]
+        assert failures  # the pristine document already diverges
+        failure = failures[0]
+        assert "char-scan oracle" in failure.message
+        assert failure.shrunk_size is not None
+        assert failure.shrunk_size <= failure.document_size
+        # The shrunk counterexample still reproduces the divergence and
+        # still contains the mangled label.
+        assert "item" in failure.shrunk_document
+        assert harness._tokenizer_diverges(failure.shrunk_document)
+
+    def test_tokenizer_round_probes_malformed_variants(self):
+        """The mutator must actually produce malformed documents —
+        otherwise the error-parity half of the round never runs."""
+        from repro.check.diffharness import _stream_outcome
+        from repro.xmltree.events import iter_events_str
+
+        harness = DifferentialHarness(HarnessConfig(seed=3))
+        rng = random.Random(1234)
+        pristine = serialize(DocumentGenerator().generate(rng))
+        outcomes = [
+            _stream_outcome(
+                iter_events_str, harness._mutate_text(pristine, rng)
+            )[1]
+            for _ in range(30)
+        ]
+        errors = [outcome for outcome in outcomes if outcome is not None]
+        assert len(errors) >= 15
+        for message, offset in errors:
+            assert isinstance(offset, int) and offset >= 0
+
     def test_round_crash_is_reported_not_raised(self, monkeypatch):
         def boom(self, seed):
             raise RuntimeError("injected crash")
@@ -205,6 +265,25 @@ class TestShrinking:
         query = parse_twig("//item")
         shrunk = shrink_query(query, lambda candidate: True)
         assert shrunk.variable_count >= 2  # root + one variable
+
+    def test_text_shrink_minimizes_to_the_failing_core(self):
+        text = "aaaa<bad>bbbb</bad>cccc"
+        shrunk = shrink_text(text, lambda t: "<bad" in t)
+        assert shrunk == "<bad"
+
+    def test_text_shrink_respects_the_attempt_budget(self):
+        calls = []
+
+        def fails(candidate):
+            calls.append(candidate)
+            return "x" in candidate
+
+        shrink_text("x" * 64, fails, max_attempts=10)
+        assert len(calls) <= 10
+
+    def test_text_shrink_returns_input_when_nothing_smaller_fails(self):
+        text = "irreducible"
+        assert shrink_text(text, lambda t: t == text) == text
 
     def test_copy_helpers_are_deep(self, seeded_rng):
         document = DocumentGenerator().generate(seeded_rng)

@@ -71,6 +71,36 @@ class TestValidator:
         report["schema_version"] = common.SCHEMA_VERSION + 1
         assert common.validate_report(report)
 
+    def test_optional_fields_absent_is_valid(self):
+        assert common.validate_report(_valid_report()) == []
+
+    def test_optional_floor_fields_are_type_checked(self):
+        report = _valid_report()
+        report.update(
+            speedup_floor=1.5,
+            speedup_asserted=True,
+            memory_floor=2.0,
+            memory_asserted=True,
+            memory_reduction=2.5,
+        )
+        assert common.validate_report(report) == []
+
+    @pytest.mark.parametrize("field", sorted(common.OPTIONAL_FIELDS))
+    def test_each_optional_field_rejects_wrong_types(self, field):
+        report = _valid_report()
+        # A string satisfies none of the optional field types.
+        report[field] = "yes"
+        issues = common.validate_report(report)
+        assert any(field in issue for issue in issues)
+
+    def test_floor_asserted_flags_must_be_bools_not_numbers(self):
+        report = _valid_report()
+        report["speedup_asserted"] = 1
+        assert common.validate_report(report)
+        report = _valid_report()
+        report["memory_floor"] = True
+        assert common.validate_report(report)
+
 
 class TestWriter:
     def test_stamps_version_and_bench(self, tmp_path):
@@ -119,3 +149,40 @@ class TestCheckedInReports:
         assert path.name == f"BENCH_{report['bench']}.json"
         # Parity is non-negotiable for a checked-in report.
         assert report["equivalent"] is True
+
+    @pytest.mark.parametrize(
+        "path", CHECKED_IN_REPORTS, ids=[p.name for p in CHECKED_IN_REPORTS]
+    )
+    def test_asserted_floors_are_actually_met(self, path):
+        """A report may not claim an asserted floor its numbers miss.
+
+        This is the regression test for the ``speedup_asserted: true`` /
+        ``speedup: 0.825`` inconsistency: when a checked-in report says
+        a floor was asserted, the recorded metric must satisfy it.
+        """
+        report = json.loads(path.read_text(encoding="utf-8"))
+        if report.get("speedup_asserted"):
+            assert "speedup_floor" in report, (
+                f"{path.name} asserts a speedup floor it does not record"
+            )
+            assert report["speedup"] >= report["speedup_floor"]
+        if report.get("memory_asserted"):
+            assert "memory_floor" in report and "memory_reduction" in report, (
+                f"{path.name} asserts a memory floor it does not record"
+            )
+            assert report["memory_reduction"] >= report["memory_floor"]
+
+    def test_ingest_report_sweep_points_hold_the_floors(self):
+        """Every ingest sweep point is equivalent and above the floor."""
+        path = REPO_ROOT / "BENCH_ingest.json"
+        report = json.loads(path.read_text(encoding="utf-8"))
+        sweep = report["sweep"]
+        assert sweep, "ingest report has an empty sweep"
+        assert max(point["scale"] for point in sweep) >= 1.0
+        for point in sweep:
+            assert point["equivalent"] is True
+            if report.get("speedup_asserted"):
+                assert point["speedup"] >= report["speedup_floor"], (
+                    f"sweep point at scale {point['scale']} fell below "
+                    f"the recorded speedup floor"
+                )

@@ -43,6 +43,20 @@ class TestCli:
         output = capsys.readouterr().out
         assert "elements" in output
         assert "column bytes" in output
+        assert "MB/s" in output  # throughput line
+
+    def test_ingest_honors_chunk_size(self, xml_file, capsys):
+        assert main(["ingest", xml_file, "--chunk-size", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "7-byte chunks" in output
+
+    def test_ingest_chunk_size_compare_parity(self, xml_file, capsys):
+        """A tiny chunk size splits markup mid-token; parity must hold."""
+        assert main(
+            ["ingest", xml_file, "--chunk-size", "3", "--compare"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "reference synopsis parity: ok" in output
 
     def test_ingest_compare_verifies_parity(self, xml_file, capsys):
         assert main(["ingest", xml_file, "--compare"]) == 0

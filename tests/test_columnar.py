@@ -28,7 +28,7 @@ from repro.xmltree import (
     thaw,
 )
 from repro.xmltree.columnar import from_events
-from repro.xmltree.events import iter_events
+from repro.xmltree.events import iter_events, iter_events_str
 from repro.xmltree.parser import XMLParseError
 from repro.xmltree.stats import collect_statistics
 from repro.xmltree.types import ValueType, tokenize_text
@@ -209,3 +209,70 @@ class TestErrorParity:
         with pytest.raises(XMLParseError) as info:
             from_events(iter_events(iter(chunks)))
         assert (str(info.value), info.value.position) == expected
+
+
+class TestChunkBoundaryFuzz:
+    """Byte chunk boundaries may fall anywhere — inside multi-byte
+    UTF-8 sequences, entity references, and markup delimiters — and the
+    byte scanner must still reproduce the whole-input token stream (or
+    the whole-input error, message and character offset included).
+    """
+
+    # 2-, 3-, and 4-byte UTF-8 in labels, attributes, and text; named,
+    # decimal, and hex entities; a non-breaking space; a self-close.
+    UNICODE_DOC = (
+        "<répertoire title='Ωλ 🙂'>"
+        "<日本語>テキスト &amp; données&#x21;</日本語>"
+        "<note>café au&#233;lait</note>"
+        "<empty/>"
+        "</répertoire>"
+    )
+
+    def test_every_single_split_yields_identical_events(self):
+        data = self.UNICODE_DOC.encode("utf-8")
+        expected = list(iter_events(self.UNICODE_DOC))
+        for cut in range(len(data) + 1):
+            streamed = list(iter_events(iter([data[:cut], data[cut:]])))
+            assert streamed == expected, f"split at byte {cut}"
+
+    def test_every_small_chunk_size_yields_identical_events(self):
+        data = self.UNICODE_DOC.encode("utf-8")
+        expected = list(iter_events(self.UNICODE_DOC))
+        for size in range(1, 9):
+            chunks = [data[i : i + size] for i in range(0, len(data), size)]
+            assert list(iter_events(iter(chunks))) == expected, size
+
+    # Each malformation sits after multi-byte characters, so the error
+    # offset only matches if byte->character accounting is exact.
+    MALFORMED_UNICODE = [
+        "<a><s>héllo &nosuch; wörld</s></a>",
+        "<a><日本>🙂</本日></a>",
+        "<a><s>Ωλ&#xg;</s></a>",
+        "<a>🙂<b/></a>",
+        "<a><s>café&amp</s></a>",
+        "<a><s>🙂",
+    ]
+
+    @pytest.mark.parametrize("xml", MALFORMED_UNICODE)
+    def test_error_offsets_survive_every_single_split(self, xml):
+        with pytest.raises(XMLParseError) as whole:
+            list(iter_events(xml))
+        expected = (str(whole.value), whole.value.position)
+        data = xml.encode("utf-8")
+        for cut in range(len(data) + 1):
+            with pytest.raises(XMLParseError) as info:
+                list(iter_events(iter([data[:cut], data[cut:]])))
+            assert (str(info.value), info.value.position) == expected, (
+                f"split at byte {cut}"
+            )
+
+    def test_byte_and_str_scanners_agree_on_random_chunkings(self, seeded_rng):
+        data = self.UNICODE_DOC.encode("utf-8")
+        expected = list(iter_events_str(self.UNICODE_DOC))
+        for _ in range(25):
+            chunks, pos = [], 0
+            while pos < len(data):
+                step = seeded_rng.randint(1, 6)
+                chunks.append(data[pos : pos + step])
+                pos += step
+            assert list(iter_events(iter(chunks))) == expected

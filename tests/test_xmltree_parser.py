@@ -239,3 +239,59 @@ class TestFuzzMalformed:
         for bad in ["&amp", "&#38", "&#x26", "&;", "&#;", "&#xg;"]:
             with pytest.raises(XMLParseError):
                 parse_string(f"<a><s>{bad}</s></a>")
+
+
+class TestTokenizerChunkFuzz:
+    """The byte scanner vs the char-scan oracle on fuzzed chunked input.
+
+    Chunk boundaries fall at arbitrary *byte* positions — including
+    inside multi-byte UTF-8 sequences — and both scanners must agree on
+    every event, and on every error message and character offset.
+    """
+
+    @staticmethod
+    def _outcome(tokenizer, source):
+        events = []
+        try:
+            for event in tokenizer(source):
+                events.append(event)
+        except XMLParseError as error:
+            return events, (str(error), error.position)
+        return events, None
+
+    @staticmethod
+    def _random_byte_chunks(data, rng):
+        chunks, pos = [], 0
+        while pos < len(data):
+            step = rng.randint(1, 9)
+            chunks.append(data[pos : pos + step])
+            pos += step
+        return chunks
+
+    def test_generated_documents_tokenize_identically_chunked(self, seeded_rng):
+        from repro.check import DocumentConfig, DocumentGenerator
+        from repro.xmltree.events import iter_events, iter_events_str
+
+        generator = DocumentGenerator(
+            DocumentConfig(min_elements=10, max_elements=40)
+        )
+        for _ in range(5):
+            xml = serialize(generator.generate(seeded_rng))
+            expected = self._outcome(iter_events_str, xml)
+            data = xml.encode("utf-8")
+            for _ in range(4):
+                chunks = self._random_byte_chunks(data, seeded_rng)
+                assert self._outcome(iter_events, iter(chunks)) == expected
+
+    def test_mutated_documents_fail_identically_chunked(self, seeded_rng):
+        from repro.xmltree.events import iter_events, iter_events_str
+
+        source = "<a><b>5</b><c>héllo wörld</c><d>&amp; 🙂</d></a>"
+        for _ in range(40):
+            position = seeded_rng.randrange(len(source))
+            junk = seeded_rng.choice("<>&/;='\"")
+            mutated = source[:position] + junk + source[position + 1 :]
+            expected = self._outcome(iter_events_str, mutated)
+            data = mutated.encode("utf-8")
+            chunks = [data[i : i + 2] for i in range(0, len(data), 2)]
+            assert self._outcome(iter_events, iter(chunks)) == expected
