@@ -1,0 +1,249 @@
+"""Exact twig evaluation — tree-walk oracle vs. the interval engine.
+
+Both engines answer the same workload over the same stored document and
+must return bit-identical selectivity counts (paper Section 2 path
+multiplicity).  The tree-walk oracle (:mod:`repro.query.evaluator`)
+chases ``XMLElement`` children pointer by pointer; the interval engine
+(:mod:`repro.query.interval`) runs pre/post interval-containment merges
+over the columnar store's sorted per-label position arrays.
+
+The framing is evaluation of an *already stored* document: the
+streaming pipeline lands documents in :class:`ColumnarDocument` form at
+ingestion time, so each engine starts from its native substrate
+(object tree for the oracle, columns for the interval engine — the
+one-time ``freeze`` cost is reported per point but counted in neither
+pass).  The interval pass is timed **cold**: every run drops the
+document's memoized subtree-end and label-position indexes and rebuilds
+them inside the clock, so the reported speedup includes the full cost
+of indexing, not just the merge loops.
+
+Wall-clock is the best of :data:`TIMING_RUNS` interleaved runs per
+engine.  At every sweep point the engines' counts are compared query by
+query (``drift`` = number of differing queries, which must be zero).
+Asserting runs add a frontier point at :data:`FRONTIER_FACTOR` x the
+bench scale — an order of magnitude past the previous maximum document
+scale any evaluation ran at — and the interval engine must beat the
+oracle by :data:`SPEEDUP_FLOOR` x at *every* point.  Results land in
+``BENCH_evaluation.json``.
+"""
+
+import gc
+from time import perf_counter
+
+import common
+from repro.datasets import generate_xmark
+from repro.query.evaluator import TreeWalkEvaluator
+from repro.query.interval import IntervalEvaluator
+from repro.workload.generator import generate_workload
+from repro.xmltree.columnar import freeze
+
+#: Wall-clock floor: the interval engine (index build included) must be
+#: at least this many times faster than the oracle at every sweep point.
+SPEEDUP_FLOOR = 5.0
+
+#: Floors are only asserted at or above this bench scale (smoke-scale
+#: runs only check parity and the report plumbing).
+SPEEDUP_ASSERT_MIN_SCALE = 0.3
+
+#: Fractions of the bench scale that are measured.
+SWEEP_FRACTIONS = (0.25, 0.5, 1.0)
+
+#: Asserting runs add one point at this multiple of the bench scale —
+#: 10x the largest document any exact evaluation previously ran at.
+FRONTIER_FACTOR = 10
+
+#: Minimum timed runs per engine and sweep point; the minimum time is
+#: reported.
+TIMING_RUNS = 5
+
+#: Small sweep points repeat beyond :data:`TIMING_RUNS` until this much
+#: wall-clock has been timed (capped at :data:`TIMING_RUNS_MAX` pairs).
+TIMING_BUDGET_SECONDS = 2.5
+TIMING_RUNS_MAX = 25
+
+#: Extra measurements of a sweep point whose speedup lands below the
+#: asserted floor; transient load retries away, a real regression fails
+#: every retry.
+POINT_RETRIES = 2
+
+
+def _treewalk_pass(tree, queries):
+    """Evaluate the workload with the pointer-chasing oracle."""
+    evaluator = TreeWalkEvaluator(tree)
+    return [evaluator.selectivity(query) for query in queries]
+
+
+def _interval_pass(doc, queries):
+    """Evaluate the workload with a cold interval engine.
+
+    Dropping the document's memoized indexes keeps the index build
+    inside the timed region: the reported time is the full cost of
+    going from stored columns to answered workload.
+    """
+    doc._subtree_ends = None
+    doc._label_positions = None
+    evaluator = IntervalEvaluator(doc)
+    return [evaluator.selectivity(query) for query in queries]
+
+
+def _timed_pair(tree, doc, queries):
+    """Best-of-N wall clock for both engines, runs interleaved.
+
+    Interleaving keeps clock drift and transient machine load from
+    biasing one engine; taking the minimum discards scheduling noise.
+    One untimed warmup pass per engine precedes the clock, and the
+    collector is quiesced and paused around the timed section.
+    Returns ``(treewalk_seconds, interval_seconds, counts_pair)``.
+    """
+    treewalk_times = []
+    interval_times = []
+    counts = None
+    _treewalk_pass(tree, queries)
+    _interval_pass(doc, queries)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        timed_total = 0.0
+        for run in range(TIMING_RUNS_MAX):
+            if run >= TIMING_RUNS and timed_total >= TIMING_BUDGET_SECONDS:
+                break
+            started = perf_counter()
+            treewalk_counts = _treewalk_pass(tree, queries)
+            treewalk_times.append(perf_counter() - started)
+            started = perf_counter()
+            interval_counts = _interval_pass(doc, queries)
+            interval_times.append(perf_counter() - started)
+            timed_total += treewalk_times[-1] + interval_times[-1]
+            counts = (treewalk_counts, interval_counts)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return min(treewalk_times), min(interval_times), counts
+
+
+def _sweep_point(scale, xmark_seed, queries_per_class, floor=None,
+                 frontier=False):
+    """Measure both engines on one XMark scale's workload.
+
+    With ``floor`` set, a point whose speedup misses it is re-measured
+    up to :data:`POINT_RETRIES` times and the fastest interval-relative
+    measurement wins.
+    """
+    dataset = generate_xmark(scale, xmark_seed)
+    workload = generate_workload(
+        dataset, queries_per_class=queries_per_class, seed=xmark_seed
+    )
+    queries = [wq.query for wq in workload.queries]
+    started = perf_counter()
+    doc = freeze(dataset.tree)
+    freeze_seconds = perf_counter() - started
+
+    treewalk_seconds, interval_seconds, counts = _timed_pair(
+        dataset.tree, doc, queries
+    )
+    retries = POINT_RETRIES if floor is not None else 0
+    for _ in range(retries):
+        if (
+            interval_seconds > 0
+            and treewalk_seconds / interval_seconds >= floor
+        ):
+            break
+        retry_tw, retry_iv, retry_counts = _timed_pair(
+            dataset.tree, doc, queries
+        )
+        if retry_tw / retry_iv > treewalk_seconds / interval_seconds:
+            treewalk_seconds, interval_seconds, counts = (
+                retry_tw, retry_iv, retry_counts
+            )
+    treewalk_counts, interval_counts = counts
+    drift = sum(
+        1 for expected, actual in zip(treewalk_counts, interval_counts)
+        if expected != actual
+    )
+    return {
+        "scale": scale,
+        "elements": len(doc),
+        "queries": len(queries),
+        "frontier": frontier,
+        "freeze_seconds": round(freeze_seconds, 4),
+        "treewalk_seconds": round(treewalk_seconds, 4),
+        "interval_seconds": round(interval_seconds, 4),
+        "speedup": round(
+            treewalk_seconds / interval_seconds
+            if interval_seconds > 0 else 0.0,
+            3,
+        ),
+        "drift": drift,
+        "equivalent": drift == 0,
+    }
+
+
+def test_exact_evaluation_speedup(experiment_context):
+    """Oracle vs interval twig evaluation → BENCH_evaluation.json.
+
+    Both engines must return bit-identical counts on every workload
+    query at every sweep scale (zero drift).  At asserting bench scales
+    the sweep adds a frontier point at :data:`FRONTIER_FACTOR` x the
+    bench scale and the interval engine must clear the
+    :data:`SPEEDUP_FLOOR` x wall-clock floor at every point, index
+    build included.
+    """
+    context = experiment_context
+    bench_scale = context.config.scale
+    queries_per_class = context.config.queries_per_class
+    asserting = bench_scale >= SPEEDUP_ASSERT_MIN_SCALE
+    scales = [
+        (round(bench_scale * fraction, 6), False)
+        for fraction in SWEEP_FRACTIONS
+    ]
+    if asserting:
+        scales.append((round(bench_scale * FRONTIER_FACTOR, 6), True))
+    points = [
+        _sweep_point(
+            scale,
+            context.config.xmark_seed,
+            queries_per_class,
+            floor=SPEEDUP_FLOOR if asserting else None,
+            frontier=frontier,
+        )
+        for scale, frontier in scales
+    ]
+
+    # The headline is the bench-scale point; the frontier point shows
+    # the ratio widening with document size rather than collapsing.
+    headline = points[len(SWEEP_FRACTIONS) - 1]
+    equivalent = all(point["equivalent"] for point in points)
+    speedup = headline["speedup"]
+
+    report = {
+        "dataset": "xmark",
+        "scale": bench_scale,
+        "sweep": points,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": asserting,
+        "equivalent": equivalent,
+    }
+    out_path = common.write_report("evaluation", report, "BENCH_evaluation.json")
+    frontier_note = ""
+    if asserting:
+        frontier = points[-1]
+        frontier_note = (
+            f", frontier x{FRONTIER_FACTOR} scale {frontier['scale']}: "
+            f"{frontier['speedup']:.2f}x over {frontier['elements']} elements"
+        )
+    print(
+        f"\nBENCH_evaluation: treewalk {headline['treewalk_seconds']:.3f}s, "
+        f"interval {headline['interval_seconds']:.3f}s over "
+        f"{headline['queries']} queries -> speedup {speedup:.2f}x"
+        f"{frontier_note} ({out_path})"
+    )
+
+    assert equivalent, "interval engine drifted from the tree-walk oracle"
+    if asserting:
+        for point in points:
+            assert point["speedup"] >= SPEEDUP_FLOOR, (
+                f"interval engine fell below the {SPEEDUP_FLOOR}x speedup "
+                f"floor at scale {point['scale']}: {point['speedup']:.2f}x"
+            )

@@ -5,9 +5,11 @@ Subcommands::
     python -m repro summarize INPUT.xml -o synopsis.json \
         --structural-budget 4096 --value-budget 32768
     python -m repro estimate synopsis.json "//movie[./year >= 2000]/title"
-    python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title"
+    python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title" \
+        [--engine interval|treewalk]
     python -m repro experiments [--scale 0.25] [--queries 15]
-    python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json]
+    python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json] \
+        [--evaluator]
     python -m repro ingest INPUT.xml [--chunk-size N] [--compare]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
@@ -69,7 +71,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     tree = parse_document(args.input)
     query = parse_twig(args.query)
-    print(evaluate_selectivity(tree, query))
+    print(evaluate_selectivity(tree, query, engine=args.engine))
     return 0
 
 
@@ -155,6 +157,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
         HarnessConfig,
         InvariantAuditor,
     )
+
+    if args.evaluator:
+        # Evaluator-focused fuzz: interval-vs-treewalk parity rounds
+        # only, so many more probes fit in the same wall-clock.
+        harness = DifferentialHarness(
+            HarnessConfig(seed=args.seed, rounds=args.rounds)
+        )
+        report = harness.run_evaluator()
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.format_text())
+        return 0 if report.ok else 1
 
     auditor = InvariantAuditor()
     report = CheckReport(seed=args.seed)
@@ -273,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = commands.add_parser("evaluate", help="exact selectivity on a document")
     evaluate.add_argument("input", help="XML document")
     evaluate.add_argument("query", help="twig query")
+    evaluate.add_argument(
+        "--engine",
+        choices=("interval", "treewalk"),
+        default="interval",
+        help="exact-evaluation engine (default %(default)s)",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     experiments = commands.add_parser(
@@ -309,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-fuzz",
         action="store_true",
         help="run only the invariant audit, no differential rounds",
+    )
+    check.add_argument(
+        "--evaluator",
+        action="store_true",
+        help="run evaluator-only fuzz rounds (interval-join engine vs "
+        "tree-walk oracle on workload + mutated twigs)",
     )
     check.add_argument(
         "--json", action="store_true", help="emit a JSON report"

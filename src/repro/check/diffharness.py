@@ -20,7 +20,14 @@ exercises them on *arbitrary* documents, generated from a seed:
    reference synopses and the budgeted builds must be bit-identical
    across substrates, and the columnar build must reproduce the
    round's baseline estimates;
-8. pit the production byte-level tokenizer against the character-scan
+8. grade the round's workload — plus ``//``-heavy and wildcard mutated
+   variants of every query — with both exact evaluators: the tree-walk
+   oracle over ``XMLElement`` objects and the pre/post interval-join
+   engine over the frozen columnar document.  Binding-tuple counts
+   must be **bit-equal** (the paper's Section 2 path-multiplicity
+   semantics leave no tolerance); a diverging twig is shrunk with
+   :func:`repro.check.shrink.shrink_query`;
+9. pit the production byte-level tokenizer against the character-scan
    oracle (:func:`repro.xmltree.events.iter_events_str`) on the
    serialized document *and* on mutated — usually malformed — variants
    of it, whole and randomly chunked: token streams, error messages,
@@ -44,7 +51,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.check.invariants import InvariantAuditor
 from repro.check.report import CheckReport, Failure
-from repro.check.shrink import shrink_document, shrink_query, shrink_text
+from repro.check.shrink import (
+    copy_query,
+    shrink_document,
+    shrink_query,
+    shrink_text,
+)
 from repro.core.builder import BuildConfig, XClusterBuilder
 from repro.core.estimation import CompiledEstimator
 from repro.core.estimator import XClusterEstimator
@@ -53,10 +65,12 @@ from repro.core.serialization import synopsis_from_dict, synopsis_to_dict
 from repro.core.sizing import structural_size_bytes, value_size_bytes
 from repro.core.synopsis import XClusterSynopsis
 from repro.datasets.dataset import Dataset
-from repro.query.ast import TwigQuery
+from repro.query.ast import WILDCARD, AxisStep, EdgePath, TwigQuery
+from repro.query.evaluator import TreeWalkEvaluator
+from repro.query.interval import IntervalEvaluator
 from repro.workload.generator import TwigWorkloadGenerator, WorkloadConfig
 from repro.workload.negative import make_negative_workload
-from repro.xmltree.columnar import ingest_string
+from repro.xmltree.columnar import freeze, ingest_string
 from repro.xmltree.events import iter_events, iter_events_str
 from repro.xmltree.parser import XMLParseError, parse_string
 from repro.xmltree.serializer import serialize
@@ -188,6 +202,9 @@ class HarnessConfig:
         audit_predicate_limit: atomic predicates probed per summary.
         tokenizer_variants: mutated-document probes per tokenizer round
             (the pristine serialization is always probed as well).
+        evaluator_variants: mutated (``//``-heavy / wildcard) twig
+            probes derived from each workload query in the evaluator
+            round (every unmutated query is always probed as well).
         document: document-shape configuration.
     """
 
@@ -201,6 +218,7 @@ class HarnessConfig:
     shrink_attempts: int = 120
     audit_predicate_limit: int = 8
     tokenizer_variants: int = 6
+    evaluator_variants: int = 3
     document: DocumentConfig = field(default_factory=DocumentConfig)
 
 
@@ -329,9 +347,48 @@ class DifferentialHarness:
         report.failures.extend(
             self._columnar_failures(seed, document, queries, baseline)
         )
+        # Draws only from a private seed-derived stream, so the round
+        # rng's draws (and thus every other stage) stay untouched.
+        report.failures.extend(self._evaluator_failures(seed, document, queries))
         # Last stage, so its rng draws never perturb the seeds that
         # reproduce failures from the earlier stages.
         report.failures.extend(self._tokenizer_failures(seed, document, rng))
+        return report
+
+    def run_evaluator(self) -> CheckReport:
+        """Evaluator-focused rounds: document + workload + stage 8 only.
+
+        The full :meth:`run` already includes the evaluator stage; this
+        entry point (behind ``python -m repro check --evaluator``) skips
+        the synopsis builds and estimator stages so many more
+        interval-vs-treewalk probes fit in the same wall-clock.
+        """
+        master = random.Random(self.config.seed)
+        report = CheckReport(seed=self.config.seed)
+        for _ in range(self.config.rounds):
+            round_seed = master.randrange(2**32)
+            try:
+                report.extend(self.run_evaluator_round(round_seed))
+            except Exception:  # noqa: BLE001 - a crash IS a finding
+                report.failures.append(
+                    Failure(
+                        kind="crash",
+                        seed=round_seed,
+                        message=traceback.format_exc(limit=6).strip(),
+                    )
+                )
+                report.rounds += 1
+        return report
+
+    def run_evaluator_round(self, seed: int) -> CheckReport:
+        """One evaluator-only round, reproducible from ``seed``."""
+        report = CheckReport(rounds=1)
+        rng = random.Random(seed)
+        document = self.documents.generate(rng)
+        dataset = Dataset("fuzz", document, document.value_paths())
+        queries = self._workload(dataset, rng)
+        report.queries_checked = len(queries)
+        report.failures.extend(self._evaluator_failures(seed, document, queries))
         return report
 
     # -- stages ---------------------------------------------------------------
@@ -567,6 +624,94 @@ class DifferentialHarness:
                     )
                 )
         return failures
+
+    def _evaluator_failures(
+        self, seed: int, document: XMLTree, queries: List[TwigQuery]
+    ) -> List[Failure]:
+        """The exact-evaluation parity round.
+
+        Freeze the round's document into columns and require the
+        interval-join engine to reproduce the tree-walk oracle's
+        binding-tuple count **bit-exactly** on every workload query and
+        on mutated variants that stress the paper's path-multiplicity
+        rule: child steps flipped to ``//`` (one element reachable via
+        several step-paths) and name tests widened to ``*``.  Mutation
+        randomness comes from a private seed-derived stream, so earlier
+        stages' failure seeds stay reproducible.
+        """
+        failures: List[Failure] = []
+        oracle = TreeWalkEvaluator(document)
+        engine = IntervalEvaluator(freeze(document))
+        mutation_rng = random.Random(seed ^ 0x5E1EC7)
+        probes = list(queries)
+        for query in queries:
+            probes.extend(
+                self._mutate_twig(query, mutation_rng)
+                for _ in range(self.config.evaluator_variants)
+            )
+        for query in probes:
+            expected = oracle.selectivity(query)
+            actual = engine.selectivity(query)
+            if expected != actual:
+                failures.append(
+                    self._shrunk_evaluator_failure(
+                        seed, document, oracle, engine, query, expected, actual
+                    )
+                )
+        return failures
+
+    def _mutate_twig(self, query: TwigQuery, rng: random.Random) -> TwigQuery:
+        """A ``//``-heavier / wildcarded variant of one twig query."""
+        mutated = copy_query(query)
+        for node in mutated.nodes():
+            if node.edge is None:
+                continue
+            steps = []
+            for step in node.edge.steps:
+                axis = step.axis
+                label = step.label
+                if axis == "child" and rng.random() < 0.4:
+                    axis = "descendant"
+                if rng.random() < 0.2:
+                    label = WILDCARD
+                steps.append(AxisStep(axis, label))
+            node.edge = EdgePath(tuple(steps))
+        return mutated
+
+    def _shrunk_evaluator_failure(
+        self,
+        seed: int,
+        document: XMLTree,
+        oracle: TreeWalkEvaluator,
+        engine: IntervalEvaluator,
+        query: TwigQuery,
+        expected: int,
+        actual: int,
+    ) -> Failure:
+        failure = Failure(
+            kind="evaluator-divergence",
+            seed=seed,
+            message=(
+                f"tree-walk oracle counts {expected!r}, "
+                f"interval engine counts {actual!r}"
+            ),
+            query=query.to_xpath(),
+            document_size=len(document),
+        )
+        if not self.config.shrink:
+            return failure
+
+        def still_diverges(candidate: TwigQuery) -> bool:
+            try:
+                return oracle.selectivity(candidate) != engine.selectivity(
+                    candidate
+                )
+            except Exception:  # noqa: BLE001 - a crash still reproduces a bug
+                return True
+
+        shrunk = shrink_query(query, still_diverges)
+        failure.shrunk_query = shrunk.to_xpath()
+        return failure
 
     def _tokenizer_failures(
         self, seed: int, document: XMLTree, rng: random.Random

@@ -22,7 +22,9 @@ class Failure:
     Attributes:
         kind: failure class (``"build-divergence"``,
             ``"estimate-divergence"``, ``"audit"``,
-            ``"serialization-divergence"``, ``"crash"``).
+            ``"serialization-divergence"``, ``"columnar-divergence"``,
+            ``"evaluator-divergence"``, ``"tokenizer-divergence"``,
+            ``"crash"``).
         seed: the round seed; re-running the harness round with this
             seed reproduces the failure deterministically.
         message: what diverged, with both values where applicable.

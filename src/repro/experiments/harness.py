@@ -59,6 +59,9 @@ class ExperimentConfig:
     value_fraction: float = 0.45
     pool_max: int = 10000
     pool_min: int = 5000
+    #: Exact-evaluation engine grading workload queries ("interval" or
+    #: "treewalk"); interval joins keep large-scale sweeps tractable.
+    evaluation_engine: str = "interval"
 
 
 @dataclass
@@ -121,6 +124,7 @@ class ExperimentContext:
                 self.dataset(name),
                 self.config.queries_per_class,
                 self.config.workload_seed,
+                engine=self.config.evaluation_engine,
             )
             self._workloads[name] = cached
         return cached

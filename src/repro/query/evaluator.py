@@ -1,11 +1,24 @@
-"""Exact twig-query evaluation over a document tree.
+"""Exact twig-query evaluation — tree-walk oracle and engine dispatch.
 
 This module computes the true selectivity ``s(Q)`` of a twig query — the
-number of binding tuples (paper Section 2) — by dynamic programming over
-the document.  It is the ground truth against which all XCluster
-estimates are scored, and it shares the paper's path-counting semantics:
-an element reachable from its context through several distinct axis paths
-contributes once per path.
+number of binding tuples (paper Section 2).  It is the ground truth
+against which all XCluster estimates are scored, and it shares the
+paper's path-counting semantics: an element reachable from its context
+through several distinct axis paths contributes once per path.
+
+Two engines share those semantics bit-exactly:
+
+* :class:`TreeWalkEvaluator` — the reference oracle.  Dynamic
+  programming over ``XMLElement`` objects with per-step weighted
+  frontiers, exactly the paper's recurrence.
+* :class:`repro.query.interval.IntervalEvaluator` — the production
+  engine.  Pre/post/level interval joins over sorted
+  :class:`ColumnarDocument` columns; the default, because the oracle's
+  object walk caps accuracy experiments at toy document scales.
+
+:class:`ExactEvaluator` dispatches between them and accepts either an
+``XMLTree`` or a ``ColumnarDocument`` (freezing/thawing to the
+substrate its engine needs), so callers keep one entry point.
 
 The query root ``q0`` binds the *virtual document root*, whose single
 child is the document's root element.
@@ -13,10 +26,17 @@ child is the document's root element.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.query.ast import AxisStep, EdgePath, QueryNode, TwigQuery
+from repro.xmltree.columnar import ColumnarDocument, freeze, thaw
 from repro.xmltree.tree import XMLElement, XMLTree
+
+#: Engine names accepted by :class:`ExactEvaluator`.
+ENGINES = ("interval", "treewalk")
+
+#: Either document substrate; both engines can serve both.
+DocumentSource = Union[XMLTree, ColumnarDocument]
 
 
 def _expand_step(
@@ -69,8 +89,8 @@ class _VirtualRoot(XMLElement):
         self.children = [document_root]
 
 
-class ExactEvaluator:
-    """Counts binding tuples of twig queries over one document.
+class TreeWalkEvaluator:
+    """The reference oracle: counts binding tuples by walking objects.
 
     The evaluator memoizes per (query-variable, element) sub-results, so
     evaluating many queries against the same tree is efficient.
@@ -116,6 +136,53 @@ class ExactEvaluator:
         return self.selectivity(query) > 0
 
 
-def evaluate_selectivity(tree: XMLTree, query: TwigQuery) -> int:
+class ExactEvaluator:
+    """Engine-dispatching exact evaluator over either substrate.
+
+    ``source`` may be an ``XMLTree`` or a ``ColumnarDocument``; the
+    chosen engine's substrate is derived once up front (``freeze`` for
+    the interval engine over a tree, ``thaw`` for the oracle over
+    columns), so evaluating a whole workload amortizes the conversion.
+    """
+
+    def __init__(
+        self, source: DocumentSource, engine: str = "interval"
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown evaluation engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+        if isinstance(source, ColumnarDocument):
+            tree, doc = None, source
+        else:
+            tree, doc = source, None
+        if engine == "interval":
+            from repro.query.interval import IntervalEvaluator
+
+            self._impl = IntervalEvaluator(doc if doc is not None else freeze(tree))
+        else:
+            self._impl = TreeWalkEvaluator(tree if tree is not None else thaw(doc))
+        self.source = source
+
+    @property
+    def tree(self) -> XMLTree:
+        """The object tree, materializing it on demand (oracle compat)."""
+        if isinstance(self.source, ColumnarDocument):
+            return thaw(self.source)
+        return self.source
+
+    def selectivity(self, query: TwigQuery) -> int:
+        """The exact number of binding tuples of ``query``."""
+        return self._impl.selectivity(query)
+
+    def matches(self, query: TwigQuery) -> bool:
+        """Whether the query has at least one binding tuple."""
+        return self._impl.matches(query)
+
+
+def evaluate_selectivity(
+    source: DocumentSource, query: TwigQuery, engine: str = "interval"
+) -> int:
     """One-shot exact selectivity (see :class:`ExactEvaluator`)."""
-    return ExactEvaluator(tree).selectivity(query)
+    return ExactEvaluator(source, engine=engine).selectivity(query)

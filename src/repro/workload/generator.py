@@ -185,11 +185,20 @@ class TwigWorkloadGenerator:
         dataset: Dataset,
         seed: int = 1234,
         config: Optional[WorkloadConfig] = None,
+        evaluator: Optional[ExactEvaluator] = None,
+        engine: str = "interval",
     ) -> None:
         self.dataset = dataset
         self.rng = random.Random(seed)
         self.config = config if config is not None else WorkloadConfig()
-        self.evaluator = ExactEvaluator(dataset.tree)
+        # Grading thousands of candidate twigs dominates generation, so
+        # the evaluator engine is a knob; a shared evaluator (e.g. the
+        # experiments harness's) skips rebuilding the interval indexes.
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else ExactEvaluator(dataset.tree, engine=engine)
+        )
         self._elements: List[XMLElement] = list(dataset.tree)
 
         self._valued_by_type: Dict[ValueType, List[XMLElement]] = {}
@@ -487,7 +496,8 @@ def generate_workload(
     dataset: Dataset,
     queries_per_class: int = 25,
     seed: int = 1234,
+    engine: str = "interval",
 ) -> Workload:
     """Convenience wrapper around :class:`TwigWorkloadGenerator`."""
     config = WorkloadConfig(queries_per_class=queries_per_class)
-    return TwigWorkloadGenerator(dataset, seed, config).generate()
+    return TwigWorkloadGenerator(dataset, seed, config, engine=engine).generate()

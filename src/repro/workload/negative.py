@@ -87,12 +87,20 @@ def make_negative_workload(
     positive: Workload,
     seed: int = 99,
     limit: Optional[int] = None,
+    evaluator: Optional[ExactEvaluator] = None,
+    engine: str = "interval",
 ) -> Workload:
-    """Derive a verified zero-selectivity workload from ``positive``."""
+    """Derive a verified zero-selectivity workload from ``positive``.
+
+    Every mutated query is re-graded to certify it really is zero;
+    pass a shared ``evaluator`` (or pick an ``engine``) the same way as
+    :class:`TwigWorkloadGenerator`.
+    """
     rng = random.Random(seed)
     stats = collect_statistics(dataset.tree)
     domain_hi = stats.numeric_domain[1] if stats.numeric_domain else 1
-    evaluator = ExactEvaluator(dataset.tree)
+    if evaluator is None:
+        evaluator = ExactEvaluator(dataset.tree, engine=engine)
 
     negatives: List[WorkloadQuery] = []
     for workload_query in positive.queries:

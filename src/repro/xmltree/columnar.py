@@ -7,6 +7,12 @@ columns instead of one Python object per element:
 * ``parent`` / ``first_child`` / ``next_sibling`` — ``array('i')``
   structure columns encoding the tree (-1 is the null link), which make
   both parent-chasing and subtree scans cache-friendly array walks;
+* ``post`` / ``level`` — post-order ranks and root-distance depths,
+  completing the *pre/post/level* interval encoding of the XPath
+  accelerator: together with the implicit preorder index they make
+  descendant-or-self a pair of integer comparisons (``a <= d`` and
+  ``post[d] <= post[a]``), which the interval join engine of
+  :mod:`repro.query.interval` exploits for exact twig evaluation;
 * ``path_ids`` — interned root-to-element label-path ids; the path table
   itself is columnar (``path_parent`` / ``path_label``), so a document
   with millions of elements stores each distinct path once;
@@ -93,6 +99,10 @@ class ColumnarDocument:
         "parent",
         "first_child",
         "next_sibling",
+        "post",
+        "level",
+        "_subtree_ends",
+        "_label_positions",
         "path_ids",
         "path_parent",
         "path_label",
@@ -115,6 +125,15 @@ class ColumnarDocument:
         self.parent = array("i")
         self.first_child = array("i")
         self.next_sibling = array("i")
+        #: Post-order rank and root-distance depth per element.  With the
+        #: implicit preorder index these form the pre/post/level interval
+        #: encoding: ``d`` is in the subtree of ``a`` iff ``a <= d`` and
+        #: ``post[d] <= post[a]``.
+        self.post = array("i")
+        self.level = array("i")
+        #: Lazily built interval-join indexes (immutable documents only).
+        self._subtree_ends: Optional[array] = None
+        self._label_positions: Optional[List[array]] = None
         #: Per-element interned path ids; the path table is itself
         #: columnar: ``path_parent[p]`` is the path id of the prefix and
         #: ``path_label[p]`` the last label id (-1 parent for roots).
@@ -228,6 +247,57 @@ class ColumnarDocument:
             node = self.parent[node]
         return len(self.labels)
 
+    def is_descendant(self, index: int, ancestor: int) -> bool:
+        """Whether ``index`` lies in the proper subtree of ``ancestor``.
+
+        Two integer comparisons over the pre/post encoding — no pointer
+        chasing, O(1).
+        """
+        return ancestor < index and self.post[index] < self.post[ancestor]
+
+    def subtree_ends(self) -> array:
+        """The cached subtree-end column: ``ends[i]`` is one past the
+        last preorder index of the subtree at ``i``.
+
+        The subtree of ``i`` is exactly ``range(i, ends[i])``, so
+        bisecting a sorted preorder array against ``(i, ends[i])``
+        yields the descendant window of ``i``.  Built once per document
+        in a single stack pass over the ``level`` column; documents are
+        immutable after construction, so the cache never invalidates.
+        """
+        ends = self._subtree_ends
+        if ends is None:
+            count = len(self.labels)
+            ends = array("i", [count]) * count if count else array("i")
+            level = self.level
+            stack: List[int] = []
+            for index in range(count):
+                depth = level[index]
+                while stack and level[stack[-1]] >= depth:
+                    ends[stack.pop()] = index
+                stack.append(index)
+            # Whatever remains open runs to the end of the document and
+            # keeps the initialized value ``count``.
+            self._subtree_ends = ends
+        return ends
+
+    def label_positions(self) -> List[array]:
+        """Per-label sorted preorder index arrays (cached).
+
+        ``label_positions()[label_id]`` holds the preorder indexes of
+        every element tagged ``label_table[label_id]``, ascending — the
+        accelerator relation the interval join engine bisects its
+        descendant windows into.  Built in one pass over ``labels``.
+        """
+        positions = self._label_positions
+        if positions is None:
+            positions = [array("i") for _ in self.label_table]
+            appends = [column.append for column in positions]
+            for index, label_id in enumerate(self.labels):
+                appends[label_id](index)
+            self._label_positions = positions
+        return positions
+
     def cursor(self, index: int = 0) -> "ColumnarCursor":
         """An object-like navigator positioned on element ``index``."""
         return ColumnarCursor(self, index)
@@ -256,6 +326,8 @@ class ColumnarDocument:
             self.parent,
             self.first_child,
             self.next_sibling,
+            self.post,
+            self.level,
             self.path_ids,
             self.path_parent,
             self.path_label,
@@ -319,12 +391,7 @@ class ColumnarCursor:
 
     def depth(self) -> int:
         """Distance from the root (root has depth 0)."""
-        depth = 0
-        node = self.doc.parent[self.index]
-        while node >= 0:
-            depth += 1
-            node = self.doc.parent[node]
-        return depth
+        return self.doc.level[self.index]
 
     def subtree_size(self) -> int:
         """Number of elements in the subtree rooted here (inclusive)."""
@@ -406,6 +473,10 @@ def _append_node(
     doc.parent.append(parent_index)
     doc.first_child.append(-1)
     doc.next_sibling.append(-1)
+    # Post-order ranks need the whole subtree; the builder backfills
+    # them afterwards (:func:`_fill_postorder`).
+    doc.post.append(-1)
+    doc.level.append(doc.level[parent_index] + 1 if parent_index >= 0 else 0)
     doc.value_kind.append(KIND_NULL)
     doc.value_ref.append(-1)
     last_child.append(-1)
@@ -431,6 +502,40 @@ def _intern_path(
         doc.path_parent.append(parent_path_id)
         doc.path_label.append(label_id)
     return pid
+
+
+def _fill_postorder(doc: ColumnarDocument) -> None:
+    """Backfill the ``post`` column of a structurally complete document.
+
+    :func:`from_events` assigns post-order ranks inline as elements
+    close; tree-built documents (:func:`freeze`) only know the full
+    structure after the walk, so ranks are derived here with an
+    explicit-stack post-order traversal over the structure columns.
+    The two routes are bit-identical — pinned by the freeze-vs-ingest
+    column test.
+    """
+    if not len(doc.labels):
+        return
+    post = doc.post
+    first_child = doc.first_child
+    next_sibling = doc.next_sibling
+    rank = 0
+    #: (element, children already expanded?) frames.
+    stack: List[Tuple[int, bool]] = [(0, False)]
+    while stack:
+        index, expanded = stack.pop()
+        if expanded:
+            post[index] = rank
+            rank += 1
+            continue
+        stack.append((index, True))
+        children = []
+        child = first_child[index]
+        while child >= 0:
+            children.append(child)
+            child = next_sibling[child]
+        for child in reversed(children):
+            stack.append((child, False))
 
 
 def from_events(
@@ -466,6 +571,10 @@ def from_events(
     parent_col = doc.parent
     first_child = doc.first_child
     next_sibling = doc.next_sibling
+    post_col = doc.post
+    level_col = doc.level
+    #: Next post-order rank; attributes close instantly, elements at END.
+    post_rank = 0
     path_ids = doc.path_ids
     path_parent = doc.path_parent
     path_label = doc.path_label
@@ -500,6 +609,10 @@ def from_events(
             parent_col.append(parent_index)
             first_child.append(-1)
             next_sibling.append(-1)
+            # Depth equals the open-element count for both kinds: a new
+            # element is not yet on the stack, and an attribute hangs
+            # off the stack top.
+            level_col.append(len(open_nodes))
             value_kind.append(KIND_NULL)
             value_ref.append(-1)
             last_child.append(-1)
@@ -519,15 +632,22 @@ def from_events(
                 path_label.append(label_id)
             path_ids.append(pid)
             if kind is START or kind == START:
+                post_col.append(-1)
                 open_nodes.append(index)
                 open_pids.append(pid)
                 open_text.append([])
             else:
+                # An attribute is a childless leaf: it closes the moment
+                # it opens, so its post-order rank is assigned inline.
+                post_col.append(post_rank)
+                post_rank += 1
                 value_kind[index] = KIND_STRING
                 value_ref[index] = len(string_values)
                 string_values.append(event[2])
         elif kind is END or kind == END:
             index = open_nodes.pop()
+            post_col[index] = post_rank
+            post_rank += 1
             pid = open_pids.pop()
             chunks = open_text.pop()
             if chunks:
@@ -663,6 +783,7 @@ def freeze(tree: XMLTree) -> ColumnarDocument:
         _store_value(doc, index, element.value)
         for child in reversed(element.children):
             stack.append((child, index, pid))
+    _fill_postorder(doc)
     return doc
 
 

@@ -83,10 +83,17 @@ class XMLElement:
             stack.extend(reversed(node.children))
 
     def descendants(self) -> Iterator["XMLElement"]:
-        """Yield all proper descendants in pre-order."""
-        nodes = iter(self.iter())
-        next(nodes)  # skip self
-        yield from nodes
+        """Yield all proper descendants in pre-order.
+
+        A direct explicit-stack walk: this is the oracle evaluator's
+        hot path, so it must not delegate through nested generators or
+        recurse (deep documents would hit the recursion limit).
+        """
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
 
     def children_with_label(self, label: str) -> List["XMLElement"]:
         """Children whose tag equals ``label``."""

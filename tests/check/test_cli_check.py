@@ -78,6 +78,33 @@ def test_fresh_xmark_audit_is_clean(capsys):
     assert "all checks passed" in capsys.readouterr().out
 
 
+def test_evaluator_rounds_from_cli(capsys):
+    """--evaluator runs interval-vs-treewalk parity rounds only."""
+    exit_code = main(["check", "--evaluator", "--rounds", "2", "--seed", "21"])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "2 fuzz round(s)" in out
+    assert "all checks passed" in out
+
+
+def test_evaluator_rounds_divergence_exits_nonzero(capsys, monkeypatch):
+    from repro.query.interval import IntervalEvaluator
+
+    real_selectivity = IntervalEvaluator.selectivity
+    monkeypatch.setattr(
+        IntervalEvaluator,
+        "selectivity",
+        lambda self, query: real_selectivity(self, query) + 1,
+    )
+    exit_code = main(["check", "--evaluator", "--rounds", "1", "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert any(
+        failure["kind"] == "evaluator-divergence"
+        for failure in report["failures"]
+    )
+
+
 def test_rounds_env_default(monkeypatch):
     monkeypatch.setenv("REPRO_CHECK_ROUNDS", "7")
     from repro.__main__ import build_parser

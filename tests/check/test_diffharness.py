@@ -205,6 +205,31 @@ class TestFailurePaths:
         for message, offset in errors:
             assert isinstance(offset, int) and offset >= 0
 
+    def test_forced_evaluator_divergence_is_reported_and_shrunk(
+        self, monkeypatch
+    ):
+        """An interval engine that miscounts by one must surface as an
+        evaluator-divergence failure with a shrunk twig."""
+        from repro.query.interval import IntervalEvaluator
+
+        real_selectivity = IntervalEvaluator.selectivity
+
+        def skewed(self, query):
+            return real_selectivity(self, query) + 1
+
+        monkeypatch.setattr(IntervalEvaluator, "selectivity", skewed)
+        report = DifferentialHarness(
+            HarnessConfig(seed=11, rounds=1)
+        ).run()
+        failures = [
+            f for f in report.failures if f.kind == "evaluator-divergence"
+        ]
+        assert failures  # every probe diverges under the skew
+        for failure in failures:
+            assert "tree-walk oracle" in failure.message
+            assert failure.query
+            assert failure.shrunk_query  # shrinking ran
+
     def test_round_crash_is_reported_not_raised(self, monkeypatch):
         def boom(self, seed):
             raise RuntimeError("injected crash")
@@ -214,6 +239,48 @@ class TestFailurePaths:
         assert not report.ok
         assert report.failures[0].kind == "crash"
         assert "injected crash" in report.failures[0].message
+
+
+class TestEvaluatorRounds:
+    def test_evaluator_only_rounds_pass(self):
+        config = HarnessConfig(seed=20060402, rounds=BOUNDED_ROUNDS)
+        report = DifferentialHarness(config).run_evaluator()
+        assert report.ok, report.format_text()
+        assert report.rounds == BOUNDED_ROUNDS
+        assert report.queries_checked > 0
+
+    def test_evaluator_rounds_are_deterministic(self):
+        config = HarnessConfig(seed=77, rounds=1)
+        first = DifferentialHarness(config).run_evaluator()
+        second = DifferentialHarness(config).run_evaluator()
+        assert first.queries_checked == second.queries_checked
+        assert first.to_dict() == second.to_dict()
+
+    def test_twig_mutation_preserves_validity_and_varies_axes(self):
+        """Mutated probes parse-compatible twigs with // or * injected."""
+        harness = DifferentialHarness(HarnessConfig(seed=5))
+        query = parse_twig("/item/entry[./name >= 3]/info")
+        rng = random.Random(99)
+        mutated = [harness._mutate_twig(query, rng) for _ in range(20)]
+        texts = {twig.to_xpath() for twig in mutated}
+        assert query.to_xpath() not in texts or len(texts) > 1
+        assert any("//" in text for text in texts)
+        for twig in mutated:
+            parse_twig(twig.to_xpath())  # still well-formed
+
+    def test_mutation_uses_a_private_stream(self):
+        """The evaluator stage must not perturb later stages' rng draws:
+        two full rounds with different evaluator_variants settings agree
+        on every non-evaluator failure seed (here: no failures at all,
+        but the reports' query counts must match)."""
+        few = DifferentialHarness(
+            HarnessConfig(seed=13, rounds=1, evaluator_variants=0)
+        ).run()
+        many = DifferentialHarness(
+            HarnessConfig(seed=13, rounds=1, evaluator_variants=5)
+        ).run()
+        assert few.ok and many.ok
+        assert few.queries_checked == many.queries_checked
 
 
 class TestShrinking:

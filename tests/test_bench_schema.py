@@ -130,13 +130,14 @@ class TestWriter:
 
 
 class TestCheckedInReports:
-    def test_all_four_benches_are_present(self):
+    def test_all_five_benches_are_present(self):
         names = {path.name for path in CHECKED_IN_REPORTS}
         assert {
             "BENCH_construction.json",
             "BENCH_estimation.json",
             "BENCH_value_kernels.json",
             "BENCH_ingest.json",
+            "BENCH_evaluation.json",
         } <= names
 
     @pytest.mark.parametrize(
@@ -171,6 +172,36 @@ class TestCheckedInReports:
                 f"{path.name} asserts a memory floor it does not record"
             )
             assert report["memory_reduction"] >= report["memory_floor"]
+
+    def test_evaluation_report_sweep_points_hold_the_floors(self):
+        """Every evaluation sweep point is drift-free and above floor.
+
+        The evaluation bench's claims are stronger than the generic
+        asserted-floor check: the floor must hold at *every* sweep
+        point (not just the headline), each point must record zero
+        selectivity drift between the two engines, and the sweep must
+        include a frontier point at 10x the bench scale.
+        """
+        path = REPO_ROOT / "BENCH_evaluation.json"
+        report = json.loads(path.read_text(encoding="utf-8"))
+        sweep = report["sweep"]
+        assert sweep, "evaluation report has an empty sweep"
+        for point in sweep:
+            assert point["drift"] == 0, (
+                f"sweep point at scale {point['scale']} recorded "
+                f"selectivity drift"
+            )
+            assert point["equivalent"] is True
+            assert point["elements"] > 0
+            if report.get("speedup_asserted"):
+                assert point["speedup"] >= report["speedup_floor"], (
+                    f"sweep point at scale {point['scale']} fell below "
+                    f"the recorded speedup floor"
+                )
+        if report.get("speedup_asserted"):
+            frontier = [p for p in sweep if p.get("frontier")]
+            assert frontier, "asserting run recorded no frontier point"
+            assert max(p["scale"] for p in frontier) >= report["scale"] * 10
 
     def test_ingest_report_sweep_points_hold_the_floors(self):
         """Every ingest sweep point is equivalent and above the floor."""
