@@ -50,13 +50,19 @@ REQUIRED_FIELDS = {
 #: Optional floor-assertion fields, type-checked when present.  The
 #: ``speedup_*`` pair describes the wall-clock floor and the
 #: ``memory_*`` triple the peak-memory floor — two separate assertions
-#: with two separate names.
+#: with two separate names.  The serving bench additionally records its
+#: throughput/latency headline numbers (``qps``, ``p50_ms``/``p99_ms``)
+#: and the cross-user plan-cache ``cache_hit_rate``.
 OPTIONAL_FIELDS = {
     "speedup_floor": (int, float),
     "speedup_asserted": (bool,),
     "memory_floor": (int, float),
     "memory_asserted": (bool,),
     "memory_reduction": (int, float),
+    "qps": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "cache_hit_rate": (int, float),
 }
 
 

@@ -2,26 +2,32 @@
 
 Subcommands::
 
-    python -m repro summarize INPUT.xml -o synopsis.json \
-        --structural-budget 4096 --value-budget 32768
-    python -m repro estimate synopsis.json "//movie[./year >= 2000]/title"
+    python -m repro summarize INPUT.xml -o synopsis.bin \
+        --structural-budget 4096 --value-budget 32768 [--format snapshot]
+    python -m repro estimate synopsis.bin "//movie[./year >= 2000]/title"
+    python -m repro convert synopsis.json synopsis.bin --format snapshot
+    python -m repro serve synopsis.bin [--host H] [--port P] [--workers N]
     python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title" \
         [--engine interval|treewalk]
     python -m repro experiments [--scale 0.25] [--queries 15]
-    python -m repro check [--rounds 3] [--seed S] [--synopsis FILE.json] \
+    python -m repro check [--rounds 3] [--seed S] [--synopsis FILE] \
         [--evaluator]
     python -m repro ingest INPUT.xml [--chunk-size N] [--compare]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
-and saves it; ``estimate`` loads a saved synopsis and prints the
-estimated selectivity of a twig query; ``evaluate`` prints the exact
-selectivity against the raw document; ``experiments`` regenerates every
-table and figure of the paper's evaluation section; ``check`` runs the
-differential verification subsystem — the invariant auditor over a
-fresh (or saved) synopsis plus the seeded engine-parity fuzzer — and
-exits non-zero on any violation (see docs/TESTING.md); ``ingest``
-stream-parses a document into the columnar store and reports its
-shape, optionally comparing against the object-tree parse.
+and saves it as interchange JSON or the binary mmap snapshot format;
+``estimate`` loads a saved synopsis (either format, auto-detected by
+magic bytes) and prints the estimated selectivity of a twig query;
+``convert`` re-encodes a saved synopsis between the two formats;
+``serve`` runs the always-on estimation daemon of :mod:`repro.serve`;
+``evaluate`` prints the exact selectivity against the raw document;
+``experiments`` regenerates every table and figure of the paper's
+evaluation section; ``check`` runs the differential verification
+subsystem — the invariant auditor over a fresh (or saved) synopsis plus
+the seeded engine-parity fuzzer — and exits non-zero on any violation
+(see docs/TESTING.md); ``ingest`` stream-parses a document into the
+columnar store and reports its shape, optionally comparing against the
+object-tree parse.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core import (
     build_xcluster,
     estimate_selectivity,
     load_synopsis,
+    save_snapshot,
     save_synopsis,
     structural_size_bytes,
     total_size_bytes,
@@ -44,6 +51,14 @@ from repro.xmltree import parse_document
 from repro.xmltree.events import DEFAULT_CHUNK_SIZE
 
 
+def _save_in_format(synopsis, path: str, format_name: str) -> None:
+    """Persist a synopsis as interchange JSON or a binary snapshot."""
+    if format_name == "snapshot":
+        save_snapshot(synopsis, path)
+    else:
+        save_synopsis(synopsis, path)
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     tree = parse_document(args.input)
     synopsis = build_xcluster(
@@ -51,13 +66,44 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         structural_budget=args.structural_budget,
         value_budget=args.value_budget,
     )
-    save_synopsis(synopsis, args.output)
+    _save_in_format(synopsis, args.output, args.format)
     print(
         f"{args.input}: {len(tree)} elements -> {len(synopsis)} clusters, "
         f"{structural_size_bytes(synopsis)} structural + "
         f"{value_size_bytes(synopsis)} value bytes "
-        f"({total_size_bytes(synopsis)} total) -> {args.output}"
+        f"({total_size_bytes(synopsis)} total) -> {args.output} [{args.format}]"
     )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    synopsis = load_synopsis(args.input)  # format auto-detected
+    _save_in_format(synopsis, args.output, args.format)
+    print(
+        f"{args.input} -> {args.output} [{args.format}], "
+        f"{len(synopsis)} clusters, "
+        f"{os.path.getsize(args.output)} bytes"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeEngine, run_server
+
+    synopsis = load_synopsis(args.synopsis)  # format auto-detected
+    engine = ServeEngine(
+        synopsis,
+        workers=args.workers,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    print(
+        f"loaded {args.synopsis}: {len(synopsis)} clusters, "
+        f"{total_size_bytes(synopsis)} synopsis bytes, "
+        f"workers={engine.workers}",
+        flush=True,
+    )
+    run_server(engine, host=args.host, port=args.port)
     return 0
 
 
@@ -275,15 +321,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     summarize = commands.add_parser("summarize", help="build and save a synopsis")
     summarize.add_argument("input", help="XML document to summarize")
-    summarize.add_argument("-o", "--output", required=True, help="synopsis JSON path")
+    summarize.add_argument("-o", "--output", required=True, help="synopsis path")
     summarize.add_argument("--structural-budget", type=int, default=4096)
     summarize.add_argument("--value-budget", type=int, default=32768)
+    summarize.add_argument(
+        "--format",
+        choices=("json", "snapshot"),
+        default="json",
+        help="output encoding: portable JSON or the binary mmap "
+        "snapshot format (default %(default)s)",
+    )
     summarize.set_defaults(handler=_cmd_summarize)
 
     estimate = commands.add_parser("estimate", help="estimate a twig's selectivity")
-    estimate.add_argument("synopsis", help="synopsis JSON path")
+    estimate.add_argument(
+        "synopsis", help="synopsis path (JSON or snapshot, auto-detected)"
+    )
     estimate.add_argument("query", help="twig query, e.g. //a[./b >= 3]/c")
     estimate.set_defaults(handler=_cmd_estimate)
+
+    convert = commands.add_parser(
+        "convert", help="re-encode a saved synopsis between formats"
+    )
+    convert.add_argument(
+        "input", help="saved synopsis (JSON or snapshot, auto-detected)"
+    )
+    convert.add_argument("output", help="destination path")
+    convert.add_argument(
+        "--format",
+        choices=("json", "snapshot"),
+        default="snapshot",
+        help="output encoding (default %(default)s)",
+    )
+    convert.set_defaults(handler=_cmd_convert)
+
+    serve = commands.add_parser(
+        "serve", help="run the always-on estimation daemon"
+    )
+    serve.add_argument(
+        "synopsis", help="synopsis path (JSON or snapshot, auto-detected)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for large batches (copy-on-write under fork)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=0.0,
+        help="coalescing window in milliseconds (default: next loop tick)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="distinct plans per dispatched batch (default %(default)s)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     evaluate = commands.add_parser("evaluate", help="exact selectivity on a document")
     evaluate.add_argument("input", help="XML document")
@@ -324,7 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--synopsis",
-        help="audit a saved synopsis JSON instead of building one",
+        help="audit a saved synopsis (JSON or snapshot) instead of "
+        "building one",
     )
     check.add_argument(
         "--skip-fuzz",

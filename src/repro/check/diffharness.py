@@ -62,6 +62,7 @@ from repro.core.estimation import CompiledEstimator
 from repro.core.estimator import XClusterEstimator
 from repro.core.reference import build_reference_synopsis
 from repro.core.serialization import synopsis_from_dict, synopsis_to_dict
+from repro.core.snapshot import snapshot_to_bytes, synopsis_from_snapshot
 from repro.core.sizing import structural_size_bytes, value_size_bytes
 from repro.core.synopsis import XClusterSynopsis
 from repro.datasets.dataset import Dataset
@@ -343,6 +344,9 @@ class DifferentialHarness:
             )
         report.failures.extend(
             self._serialization_failures(seed, synopsis, queries, baseline)
+        )
+        report.failures.extend(
+            self._snapshot_failures(seed, synopsis, queries)
         )
         report.failures.extend(
             self._columnar_failures(seed, document, queries, baseline)
@@ -843,6 +847,76 @@ class DifferentialHarness:
                         query=query.to_xpath(),
                     )
                 )
+        return failures
+
+    def _snapshot_failures(
+        self,
+        seed: int,
+        synopsis: XClusterSynopsis,
+        queries: List[TwigQuery],
+    ) -> List[Failure]:
+        """The binary-snapshot round.
+
+        Encode the round's synopsis both ways — interchange JSON and the
+        mmap snapshot format — reload each, and demand *bit-identical*
+        estimates (``!=`` on floats, no tolerance) across the fuzzed
+        workload.  The snapshot loader defers summary decoding, so the
+        audit plus estimation here also exercises every lazy-decode
+        thunk; a diverging query is shrunk to a minimal counterexample.
+        """
+        failures: List[Failure] = []
+        encoded = synopsis_to_dict(synopsis)
+        json_loaded = synopsis_from_dict(encoded)
+        snapshot_loaded = synopsis_from_snapshot(snapshot_to_bytes(synopsis))
+
+        if synopsis_to_dict(snapshot_loaded) != encoded:
+            failures.append(
+                Failure(
+                    kind="snapshot-divergence",
+                    seed=seed,
+                    message=(
+                        "snapshot round-trip does not reproduce "
+                        "synopsis_to_dict"
+                    ),
+                )
+            )
+        for violation in self.auditor.audit(snapshot_loaded):
+            failures.append(
+                Failure(
+                    kind="snapshot-divergence",
+                    seed=seed,
+                    message=f"snapshot-loaded synopsis fails audit: {violation}",
+                )
+            )
+
+        json_estimator = CompiledEstimator(json_loaded)
+        snapshot_estimator = CompiledEstimator(snapshot_loaded)
+        for query in queries:
+            expected = json_estimator.estimate(query)
+            actual = snapshot_estimator.estimate(query)
+            if actual != expected:
+                failure = Failure(
+                    kind="snapshot-divergence",
+                    seed=seed,
+                    message=(
+                        f"JSON load estimates {expected!r} but snapshot "
+                        f"load estimates {actual!r} (bit-exact required)"
+                    ),
+                    query=query.to_xpath(),
+                )
+                if self.config.shrink:
+
+                    def still_diverges(candidate: TwigQuery) -> bool:
+                        try:
+                            return json_estimator.estimate(
+                                candidate
+                            ) != snapshot_estimator.estimate(candidate)
+                        except Exception:  # noqa: BLE001
+                            return True
+
+                    shrunk = shrink_query(query, still_diverges)
+                    failure.shrunk_query = shrunk.to_xpath()
+                failures.append(failure)
         return failures
 
 

@@ -26,6 +26,13 @@ Invariant catalog
     merge operation: outgoing weighted averages and incoming sums both
     keep each parent's contribution ``|p| * count(p, v)`` constant.
 
+``summary-decode``
+    A lazily-loaded value summary (relaxed ``verify=False`` loads defer
+    payload decoding to first access — see
+    :mod:`repro.core.serialization` and :mod:`repro.core.snapshot`)
+    decodes at all.  A corrupt payload surfaces here as a structured
+    violation instead of an exception escaping the audit.
+
 ``summary-extent``
     A value summary never summarizes more values than the cluster has
     elements (``vsumm.count <= |u|``), and its value type matches the
@@ -142,7 +149,17 @@ class InvariantAuditor:
     def _summaries(self, synopsis: XClusterSynopsis) -> List[Violation]:
         violations: List[Violation] = []
         for node in synopsis.valued_nodes():
-            vsumm = node.vsumm
+            try:
+                vsumm = node.vsumm  # may run a deferred decode thunk
+            except ValueError as err:  # SynopsisFormatError is a ValueError
+                violations.append(
+                    Violation(
+                        "summary-decode",
+                        f"value summary failed to decode: {err}",
+                        node.node_id,
+                    )
+                )
+                continue
             assert vsumm is not None  # valued_nodes filters
             if vsumm.value_type is not node.value_type:
                 violations.append(

@@ -55,6 +55,14 @@ from repro.core.serialization import (
     synopsis_from_dict,
     synopsis_to_dict,
 )
+from repro.core.snapshot import (
+    SNAPSHOT_MAGIC,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_to_bytes,
+    synopsis_from_snapshot,
+)
 from repro.core.sizing import structural_size_bytes, value_size_bytes, total_size_bytes
 
 __all__ = [
@@ -90,6 +98,12 @@ __all__ = [
     "load_synopsis",
     "synopsis_to_dict",
     "synopsis_from_dict",
+    "SNAPSHOT_MAGIC",
+    "is_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_to_bytes",
+    "synopsis_from_snapshot",
     "structural_size_bytes",
     "value_size_bytes",
     "total_size_bytes",

@@ -171,15 +171,20 @@ def _decode_summary(
 ) -> Optional[ValueSummary]:
     if data is None:
         return None
-    kind = data.get("kind")
-    if kind == "histogram":
-        return _decode_histogram(data)
-    if kind == "wavelet":
-        return _decode_wavelet(data)
-    if kind == "pst":
-        return _decode_pst(data)
-    if kind == "ebth":
-        return _decode_ebth(data, vocabulary)
+    try:
+        kind = data.get("kind")
+        if kind == "histogram":
+            return _decode_histogram(data)
+        if kind == "wavelet":
+            return _decode_wavelet(data)
+        if kind == "pst":
+            return _decode_pst(data)
+        if kind == "ebth":
+            return _decode_ebth(data, vocabulary)
+    except SynopsisFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as err:
+        raise SynopsisFormatError(f"corrupt {kind!r} summary: {err}") from err
     raise SynopsisFormatError(f"unknown summary kind {kind!r}")
 
 
@@ -227,6 +232,10 @@ def synopsis_from_dict(
             Pass ``False`` to load a suspect synopsis *without* raising,
             e.g. so ``python -m repro check`` can hand it to the
             invariant auditor and report every breach structurally.
+            Relaxed loads also defer value-summary decoding to first
+            access, so auditing a huge synopsis's graph shape does not
+            pay the full payload decode; a corrupt summary then raises
+            :class:`SynopsisFormatError` when dereferenced.
     """
     if data.get("format") != FORMAT_VERSION:
         raise SynopsisFormatError(
@@ -244,8 +253,15 @@ def synopsis_from_dict(
             encoded["label"],
             ValueType(encoded["type"]),
             int(encoded["count"]),
-            _decode_summary(encoded.get("vsumm"), vocabulary),
         )
+        raw_summary = encoded.get("vsumm")
+        if raw_summary is not None:
+            if verify:
+                node.vsumm = _decode_summary(raw_summary, vocabulary)
+            else:
+                node.defer_summary(
+                    lambda raw=raw_summary: _decode_summary(raw, vocabulary)
+                )
         if node.node_id in nodes_by_id:
             raise SynopsisFormatError(f"duplicate node id {node.node_id}")
         nodes_by_id[node.node_id] = node
@@ -279,9 +295,24 @@ def save_synopsis(synopsis: XClusterSynopsis, path: str) -> None:
 
 
 def load_synopsis(path: str, verify: bool = True) -> XClusterSynopsis:
-    """Read a synopsis from a JSON file written by :func:`save_synopsis`.
+    """Read a synopsis saved as JSON *or* as a binary snapshot.
+
+    The format is auto-detected from the file's magic bytes, so every
+    loading surface (``estimate``, ``check --synopsis``, the daemon)
+    accepts both interchange JSON and the mmap snapshot format of
+    :mod:`repro.core.snapshot` transparently.
 
     ``verify=False`` skips graph validation (see :func:`synopsis_from_dict`).
     """
+    from repro.core import snapshot as _snapshot
+
+    with open(path, "rb") as handle:
+        head = handle.read(len(_snapshot.SNAPSHOT_MAGIC))
+    if head == _snapshot.SNAPSHOT_MAGIC:
+        return _snapshot.load_snapshot(path, verify=verify)
     with open(path, "r", encoding="utf-8") as handle:
-        return synopsis_from_dict(json.load(handle), verify=verify)
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SynopsisFormatError(f"not a synopsis file: {err}") from err
+    return synopsis_from_dict(data, verify=verify)

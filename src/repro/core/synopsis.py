@@ -32,12 +32,25 @@ class SynopsisNode:
         value_type: the common value type of all extent elements.
         count: ``|extent(u)|``.
         vsumm: the value summary, or ``None`` for structure-only nodes.
+            The summary may be *deferred* (:meth:`defer_summary`): loaders
+            can park a decode thunk instead of a materialized summary, and
+            the first ``vsumm`` access pays the decode.  Every consumer
+            sees the same object either way.
         children: forward edges ``child id -> count(u, child)`` (average
             number of child-cluster children per extent element).
         parents: ids of nodes with an edge into this one.
     """
 
-    __slots__ = ("node_id", "label", "value_type", "count", "vsumm", "children", "parents")
+    __slots__ = (
+        "node_id",
+        "label",
+        "value_type",
+        "count",
+        "_vsumm",
+        "_vsumm_thunk",
+        "children",
+        "parents",
+    )
 
     def __init__(
         self,
@@ -51,9 +64,68 @@ class SynopsisNode:
         self.label = label
         self.value_type = value_type
         self.count = count
-        self.vsumm = vsumm
+        self._vsumm = vsumm
+        self._vsumm_thunk = None
         self.children: Dict[int, float] = {}
         self.parents: Set[int] = set()
+
+    @property
+    def vsumm(self) -> Optional[ValueSummary]:
+        thunk = self._vsumm_thunk
+        if thunk is not None:
+            # Materialize only on success: a corrupt payload keeps the
+            # thunk parked, so every access raises the same format error
+            # instead of silently degrading to "no summary".
+            self._vsumm = thunk()
+            self._vsumm_thunk = None
+        return self._vsumm
+
+    @vsumm.setter
+    def vsumm(self, summary: Optional[ValueSummary]) -> None:
+        self._vsumm = summary
+        self._vsumm_thunk = None
+
+    def defer_summary(self, thunk) -> None:
+        """Park a zero-argument decode callable as the value summary.
+
+        The thunk runs (once) on the first ``vsumm`` read; until then the
+        node holds no materialized summary, which is what lets snapshot
+        and relaxed JSON loading skip per-family decoding entirely for
+        summaries a workload never touches.
+        """
+        self._vsumm = None
+        self._vsumm_thunk = thunk
+
+    @property
+    def summary_deferred(self) -> bool:
+        """Whether the value summary is still an undecoded thunk."""
+        return self._vsumm_thunk is not None
+
+    def __getstate__(self):
+        # Decode thunks close over load-time buffers and are not
+        # picklable; materialize before crossing a process boundary
+        # (the spawn-pool fallback pickles the synopsis into workers).
+        return (
+            self.node_id,
+            self.label,
+            self.value_type,
+            self.count,
+            self.vsumm,
+            self.children,
+            self.parents,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.node_id,
+            self.label,
+            self.value_type,
+            self.count,
+            self._vsumm,
+            self.children,
+            self.parents,
+        ) = state
+        self._vsumm_thunk = None
 
     @property
     def is_leaf(self) -> bool:
@@ -61,7 +133,7 @@ class SynopsisNode:
 
     @property
     def has_summary(self) -> bool:
-        return self.vsumm is not None
+        return self._vsumm is not None or self._vsumm_thunk is not None
 
     def merge_key(self) -> Tuple[str, ValueType]:
         """Nodes are merge-compatible iff their merge keys are equal.
@@ -160,8 +232,8 @@ class XClusterSynopsis:
         return [node for node in self.nodes.values() if node.label == label]
 
     def valued_nodes(self) -> List[SynopsisNode]:
-        """Nodes carrying a value summary."""
-        return [node for node in self.nodes.values() if node.vsumm is not None]
+        """Nodes carrying a value summary (materialized or deferred)."""
+        return [node for node in self.nodes.values() if node.has_summary]
 
     def total_element_count(self) -> int:
         """Sum of all extent sizes (equals the document size)."""

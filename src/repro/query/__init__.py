@@ -20,6 +20,13 @@ from repro.query.predicates import (
 )
 from repro.query.ast import AxisStep, EdgePath, QueryNode, TwigQuery
 from repro.query.xpath import XPathSyntaxError, parse_edge_path, parse_twig
+from repro.query.jsonast import (
+    QueryFormatError,
+    predicate_from_dict,
+    predicate_to_dict,
+    twig_from_dict,
+    twig_to_dict,
+)
 from repro.query.evaluator import evaluate_selectivity, match_elements
 
 __all__ = [
@@ -36,6 +43,11 @@ __all__ = [
     "XPathSyntaxError",
     "parse_edge_path",
     "parse_twig",
+    "QueryFormatError",
+    "twig_to_dict",
+    "twig_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
     "evaluate_selectivity",
     "match_elements",
 ]

@@ -149,6 +149,16 @@ class TwigQuery:
         return f"<TwigQuery {self.to_xpath()}>"
 
 
+def _render_arg(text: str) -> str:
+    # The parser trims bare arguments and splits on delimiters, so a
+    # needle with significant edge whitespace (or a delimiter char)
+    # must render quoted to survive the round trip.
+    if text == text.strip() and not any(c in text for c in ',()"\\'):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
 def _render_predicate(predicate: Predicate) -> str:
     from repro.query.predicates import (
         AtLeastKPredicate,
@@ -158,7 +168,7 @@ def _render_predicate(predicate: Predicate) -> str:
     )
 
     if isinstance(predicate, AtLeastKPredicate):
-        terms = ", ".join(predicate.sorted_terms())
+        terms = ", ".join(_render_arg(t) for t in predicate.sorted_terms())
         return f" ftatleast({predicate.threshold}, {terms})"
 
     if isinstance(predicate, RangePredicate):
@@ -168,9 +178,10 @@ def _render_predicate(predicate: Predicate) -> str:
             return f" >= {predicate.low}"
         return f" in [{predicate.low}, {predicate.high}]"
     if isinstance(predicate, SubstringPredicate):
-        return f" contains({predicate.needle})"
+        return f" contains({_render_arg(predicate.needle)})"
     if isinstance(predicate, KeywordPredicate):
-        return f" ftcontains({', '.join(predicate.sorted_terms())})"
+        terms = ", ".join(_render_arg(t) for t in predicate.sorted_terms())
+        return f" ftcontains({terms})"
     return ""
 
 

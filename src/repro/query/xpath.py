@@ -105,33 +105,71 @@ def _read_axis(scanner: _Scanner) -> Optional[str]:
     return None
 
 
-def _parse_call_args(scanner: _Scanner) -> List[str]:
-    """Parse the argument list of contains(...) / ftcontains(...)."""
-    scanner.expect("(")
-    args = []
-    depth = 1
-    current = []
-    while depth > 0:
+def _read_quoted(scanner: _Scanner) -> str:
+    """Consume a double-quoted string (backslash-escaped ``\"`` / ``\\``)."""
+    scanner.expect('"')
+    chars: List[str] = []
+    while True:
         if scanner.eof():
-            raise XPathSyntaxError("unterminated argument list", scanner.pos)
+            raise XPathSyntaxError("unterminated string literal", scanner.pos)
         char = scanner.text[scanner.pos]
         scanner.pos += 1
-        if char == "(":
-            depth += 1
-            current.append(char)
-        elif char == ")":
-            depth -= 1
-            if depth > 0:
-                current.append(char)
-        elif char == "," and depth == 1:
-            args.append("".join(current).strip())
-            current = []
-        else:
-            current.append(char)
-    last = "".join(current).strip()
-    if last or args:
-        args.append(last)
-    return args
+        if char == '"':
+            return "".join(chars)
+        if char == "\\":
+            if scanner.eof():
+                raise XPathSyntaxError("dangling escape", scanner.pos)
+            char = scanner.text[scanner.pos]
+            scanner.pos += 1
+        chars.append(char)
+
+
+def _parse_call_args(scanner: _Scanner) -> List[str]:
+    """Parse the argument list of contains(...) / ftcontains(...).
+
+    Bare arguments are whitespace-trimmed; a double-quoted argument is
+    taken verbatim (minus escapes), which is how ``to_xpath`` keeps
+    needles with significant edge whitespace or delimiter characters
+    round-trippable.
+    """
+    scanner.expect("(")
+    args: List[str] = []
+    while True:
+        scanner.skip_spaces()
+        if scanner.peek() == '"':
+            # A quoted string is a whole argument, taken verbatim.
+            args.append(_read_quoted(scanner))
+            scanner.skip_spaces()
+            if scanner.take(","):
+                continue
+            scanner.expect(")")
+            return args
+        # Bare argument: consume up to a top-level ',' or the close.
+        depth = 0
+        chars: List[str] = []
+        while True:
+            if scanner.eof():
+                raise XPathSyntaxError(
+                    "unterminated argument list", scanner.pos
+                )
+            char = scanner.text[scanner.pos]
+            scanner.pos += 1
+            if char == "(":
+                depth += 1
+                chars.append(char)
+            elif char == ")":
+                if depth == 0:
+                    text = "".join(chars).strip()
+                    if text or args:
+                        args.append(text)
+                    return args
+                depth -= 1
+                chars.append(char)
+            elif char == "," and depth == 0:
+                args.append("".join(chars).strip())
+                break
+            else:
+                chars.append(char)
 
 
 def _parse_value_test(scanner: _Scanner) -> Optional[Predicate]:

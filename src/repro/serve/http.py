@@ -1,0 +1,372 @@
+"""A dependency-free asyncio HTTP front end for the serving engine.
+
+The wire protocol is deliberately small — JSON request/response bodies
+over HTTP/1.1 with keep-alive — so any client (curl, a load generator,
+another service) can talk to the daemon without a client library:
+
+* ``GET /healthz`` — liveness: ``{"status": "ok"}``.
+* ``GET /stats`` — the :class:`~repro.serve.engine.ServingStats`
+  snapshot (latency percentiles, coalescing, estimator cache rates).
+* ``POST /estimate`` — body ``{"query": "//item/name"}`` or
+  ``{"ast": {...}}`` (:mod:`repro.query.jsonast`), optional ``"user"``
+  tag echoed back; response ``{"estimate": <float>}``.  Requests flow
+  through the plan coalescer, so concurrent identical plans cost one
+  execution.
+* ``POST /batch`` — body ``{"queries": [<request body>, ...]}``;
+  response ``{"estimates": [...]}``.  Large batches shard over the
+  copy-on-write worker pool.
+* ``POST /shutdown`` — graceful stop (used by tests and the CI smoke
+  job; a production deployment would firewall it).
+
+Malformed queries map to 400 with a JSON error body; unknown routes to
+404.  The server never lets a request exception kill the connection
+loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.engine import ServeEngine
+
+#: Request bodies above this size are rejected (a twig AST is tiny).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response_bytes(
+    status: int, body: Dict[str, Any], keep_alive: bool
+) -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + payload
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """One request as (method, path, headers, body); None at EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("ascii").split(None, 2)
+    except (UnicodeDecodeError, ValueError):
+        raise _HttpError(400, "malformed request line")
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("ascii").partition(":")
+        except UnicodeDecodeError:
+            raise _HttpError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HttpError(400, "too many headers")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _HttpError(400, f"bad content-length {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {length} bytes exceeds limit")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    return method, target.split("?", 1)[0], headers, body
+
+
+def _parse_json_body(body: bytes) -> Any:
+    if not body:
+        raise _HttpError(400, "empty request body")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise _HttpError(400, f"bad JSON body: {err}")
+
+
+class SynopsisServer:
+    """The ``repro serve`` daemon: one engine behind an asyncio server."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._connections: Dict[asyncio.StreamWriter, "asyncio.Task[None]"] = {}
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` is the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until ``/shutdown`` (or :meth:`shutdown`) is called."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self._close()
+
+    def shutdown(self) -> None:
+        """Signal the serve loop to stop accepting and drain cleanly."""
+        self._shutdown.set()
+
+    async def _close(self) -> None:
+        # Flush anything still pending so no request hangs forever.
+        self.engine.coalescer.flush()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Nudge idle keep-alive connections to EOF and let their handler
+        # tasks finish, so loop teardown never cancels them mid-write.
+        for writer in list(self._connections):
+            writer.close()
+        tasks = list(self._connections.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._connections.clear()
+
+    async def __aenter__(self) -> "SynopsisServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+        await self._close()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[writer] = task
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as err:
+                    writer.write(
+                        _response_bytes(
+                            err.status, {"error": err.message}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    status, response = await self._dispatch(method, path, body)
+                except _HttpError as err:
+                    status, response = err.status, {"error": err.message}
+                except Exception as err:  # pragma: no cover - last resort
+                    self.engine.stats.errors += 1
+                    status, response = 500, {"error": str(err)}
+                writer.write(_response_bytes(status, response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.pop(writer, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET /healthz")
+            return 200, {"status": "ok"}
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET /stats")
+            return 200, self.engine.stats_snapshot()
+        if path == "/estimate":
+            if method != "POST":
+                raise _HttpError(405, "use POST /estimate")
+            payload = _parse_json_body(body)
+            try:
+                query = self.engine.parse_request_query(payload)
+            except ValueError as err:
+                self.engine.stats.errors += 1
+                raise _HttpError(400, str(err))
+            estimate = await self.engine.estimate(query)
+            response: Dict[str, Any] = {"estimate": estimate}
+            if isinstance(payload, dict) and "user" in payload:
+                response["user"] = payload["user"]
+            return 200, response
+        if path == "/batch":
+            if method != "POST":
+                raise _HttpError(405, "use POST /batch")
+            payload = _parse_json_body(body)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("queries"), list
+            ):
+                raise _HttpError(400, "body must be {'queries': [...]}")
+            queries = []
+            for item in payload["queries"]:
+                try:
+                    queries.append(self.engine.parse_request_query(item))
+                except ValueError as err:
+                    self.engine.stats.errors += 1
+                    raise _HttpError(400, str(err))
+            estimates = self.engine.estimate_batch(queries)
+            self.engine.stats.record_batch(len(queries), len(queries))
+            return 200, {"estimates": estimates}
+        if path == "/shutdown":
+            if method != "POST":
+                raise _HttpError(405, "use POST /shutdown")
+            self.shutdown()
+            return 200, {"status": "shutting down"}
+        raise _HttpError(404, f"no route {path}")
+
+
+async def _run_server_async(
+    engine: ServeEngine, host: str, port: int, ready_line: bool
+) -> None:
+    server = SynopsisServer(engine, host, port)
+    await server.start()
+    if ready_line:
+        # The smoke scripts scrape this exact line for the bound port.
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+    await server.serve_until_shutdown()
+
+
+def run_server(
+    engine: ServeEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_line: bool = True,
+) -> None:
+    """Run the daemon until ``/shutdown`` or KeyboardInterrupt."""
+    try:
+        asyncio.run(_run_server_async(engine, host, port, ready_line))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+
+
+class ServeClient:
+    """A tiny asyncio client for tests, benchmarks, and smoke jobs.
+
+    Speaks the same keep-alive protocol as the server over one
+    connection; not a public API surface, just enough to drive the
+    daemon without external HTTP libraries.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        """Open the persistent keep-alive connection to the daemon."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection, tolerating an already-dropped peer."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Send one HTTP request; returns ``(status, decoded JSON body)``."""
+        if self._writer is None:
+            await self.connect()
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        self._writer.write(head + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(data.decode("utf-8"))
+
+    async def estimate(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST ``body`` to ``/estimate``; returns ``(status, response)``."""
+        return await self.request("POST", "/estimate", body)
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the daemon's ``/stats`` counters as a dict."""
+        _status, body = await self.request("GET", "/stats")
+        return body
+
+
+__all__ = ["SynopsisServer", "ServeClient", "run_server", "MAX_BODY_BYTES"]

@@ -130,7 +130,7 @@ class TestWriter:
 
 
 class TestCheckedInReports:
-    def test_all_five_benches_are_present(self):
+    def test_all_six_benches_are_present(self):
         names = {path.name for path in CHECKED_IN_REPORTS}
         assert {
             "BENCH_construction.json",
@@ -138,6 +138,7 @@ class TestCheckedInReports:
             "BENCH_value_kernels.json",
             "BENCH_ingest.json",
             "BENCH_evaluation.json",
+            "BENCH_serving.json",
         } <= names
 
     @pytest.mark.parametrize(
@@ -202,6 +203,34 @@ class TestCheckedInReports:
             frontier = [p for p in sweep if p.get("frontier")]
             assert frontier, "asserting run recorded no frontier point"
             assert max(p["scale"] for p in frontier) >= report["scale"] * 10
+
+    def test_serving_report_records_the_daemon_headlines(self):
+        """The serving report carries QPS/latency/cache-rate numbers.
+
+        The serving bench claims more than a load speedup: the daemon
+        must have sustained the repetition-banded workload (positive
+        QPS, ordered percentiles), the cross-user plan cache must have
+        actually fired, every cold-start sweep point must be bit-exact
+        and — on an asserting run — above the recorded floor.
+        """
+        path = REPO_ROOT / "BENCH_serving.json"
+        report = json.loads(path.read_text(encoding="utf-8"))
+        assert report["qps"] > 0
+        assert 0 < report["p50_ms"] <= report["p99_ms"]
+        assert 0 < report["cache_hit_rate"] <= 1.0
+        serving = report["serving"]
+        assert serving["parity_drift"] == 0
+        assert serving["requests"] > 0 and serving["users"] > 0
+        sweep = report["sweep"]
+        assert sweep, "serving report has an empty cold-start sweep"
+        for point in sweep:
+            assert point["drift"] == 0
+            assert point["equivalent"] is True
+            if report.get("speedup_asserted"):
+                assert point["speedup"] >= report["speedup_floor"], (
+                    f"sweep point at scale {point['scale']} fell below "
+                    f"the recorded snapshot-load floor"
+                )
 
     def test_ingest_report_sweep_points_hold_the_floors(self):
         """Every ingest sweep point is equivalent and above the floor."""

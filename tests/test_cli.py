@@ -64,6 +64,41 @@ class TestCli:
         assert "reference synopsis parity: ok" in output
         assert "statistics parity: ok" in output
 
+    def test_summarize_snapshot_format_estimates_identically(
+        self, xml_file, tmp_path, capsys
+    ):
+        json_path = str(tmp_path / "syn.json")
+        snap_path = str(tmp_path / "syn.snap")
+        assert main(["summarize", xml_file, "-o", json_path]) == 0
+        assert main(
+            ["summarize", xml_file, "-o", snap_path, "--format", "snapshot"]
+        ) == 0
+        assert "[snapshot]" in capsys.readouterr().out
+
+        # estimate auto-detects the format by magic bytes.
+        assert main(["estimate", json_path, "//paper"]) == 0
+        from_json = float(capsys.readouterr().out.strip())
+        assert main(["estimate", snap_path, "//paper"]) == 0
+        from_snap = float(capsys.readouterr().out.strip())
+        assert from_snap == from_json
+
+    def test_convert_roundtrip_is_stable(self, xml_file, tmp_path, capsys):
+        json_path = str(tmp_path / "syn.json")
+        snap_path = str(tmp_path / "syn.snap")
+        back_path = str(tmp_path / "back.snap")
+        main(["summarize", xml_file, "-o", json_path])
+        capsys.readouterr()
+        assert main(
+            ["convert", json_path, snap_path, "--format", "snapshot"]
+        ) == 0
+        assert "snapshot" in capsys.readouterr().out
+        # snapshot -> json -> snapshot is byte-identical.
+        json2 = str(tmp_path / "again.json")
+        assert main(["convert", snap_path, json2, "--format", "json"]) == 0
+        assert main(["convert", json2, back_path, "--format", "snapshot"]) == 0
+        with open(snap_path, "rb") as a, open(back_path, "rb") as b:
+            assert a.read() == b.read()
+
     def test_missing_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

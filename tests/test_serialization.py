@@ -112,3 +112,75 @@ class TestValidation:
                 break
         with pytest.raises(SynopsisFormatError):
             synopsis_from_dict(data)
+
+
+def _corrupt_first_summary(data):
+    """Gut the first encoded summary's payload, keeping its kind."""
+    for node in data["nodes"]:
+        if node["vsumm"] is not None:
+            kind = node["vsumm"]["kind"]
+            node["vsumm"] = {"kind": kind}
+            return node["id"]
+    raise AssertionError("fixture synopsis has no value summaries")
+
+
+class TestRelaxedLoading:
+    """``verify=False`` loads defer summary decoding to first access."""
+
+    def test_verify_false_defers_summary_decoding(self, compressed, tmp_path):
+        path = str(tmp_path / "synopsis.json")
+        save_synopsis(compressed, path)
+        restored = load_synopsis(path, verify=False)
+        deferred = [n for n in restored if n.summary_deferred]
+        assert deferred, "verify=False decoded summaries up front"
+        # First access materializes; the estimate path still works.
+        assert deferred[0].vsumm is not None
+        assert not deferred[0].summary_deferred
+
+    def test_verify_true_decodes_eagerly(self, compressed, tmp_path):
+        path = str(tmp_path / "synopsis.json")
+        save_synopsis(compressed, path)
+        restored = load_synopsis(path)
+        assert not any(node.summary_deferred for node in restored)
+
+    def test_corrupt_summary_loads_relaxed_then_raises(self, compressed):
+        data = synopsis_to_dict(compressed)
+        bad_id = _corrupt_first_summary(data)
+        # verify=True must refuse outright ...
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_dict(data)
+        # ... while verify=False admits the synopsis for auditing and
+        # raises a format error (not a KeyError) at first access —
+        # repeatably, never degrading to "no summary".
+        relaxed = synopsis_from_dict(data, verify=False)
+        node = relaxed.nodes[bad_id]
+        assert node.summary_deferred
+        with pytest.raises(SynopsisFormatError):
+            node.vsumm
+        with pytest.raises(SynopsisFormatError):
+            node.vsumm
+
+    def test_corrupt_summary_is_audited_not_raised(self, compressed):
+        from repro.check import InvariantAuditor
+
+        data = synopsis_to_dict(compressed)
+        bad_id = _corrupt_first_summary(data)
+        relaxed = synopsis_from_dict(data, verify=False)
+        violations = InvariantAuditor().audit(relaxed)
+        decode_failures = [
+            v for v in violations if v.invariant == "summary-decode"
+        ]
+        assert decode_failures
+        assert decode_failures[0].node_id == bad_id
+
+    def test_check_cli_reports_corrupt_synopsis(self, compressed, tmp_path):
+        """``repro check --synopsis`` flags a corrupt file, exit code 1."""
+        import json as json_module
+
+        from repro.__main__ import main
+
+        data = synopsis_to_dict(compressed)
+        _corrupt_first_summary(data)
+        path = tmp_path / "corrupt.json"
+        path.write_text(json_module.dumps(data), encoding="utf-8")
+        assert main(["check", "--synopsis", str(path)]) == 1

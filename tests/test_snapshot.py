@@ -1,0 +1,317 @@
+"""Unit tests for the binary mmap snapshot format.
+
+The contract under test is stronger than "loads without error": a
+snapshot round trip must be *bit-exact* against the JSON interchange
+form (``synopsis_to_dict`` equality, which compares every float by
+value), every value-summary family must survive, degenerate synopses
+must round-trip, and corrupt or truncated inputs must surface as
+:class:`SynopsisFormatError` — never as a bare ``struct.error`` or an
+``IndexError`` escaping the decoder.
+"""
+
+import copy
+import pickle
+import struct
+
+import pytest
+
+from repro.core import (
+    build_xcluster,
+    load_synopsis,
+    save_synopsis,
+    synopsis_to_dict,
+)
+from repro.core.builder import BuildConfig
+from repro.core.estimation import CompiledEstimator
+from repro.core.serialization import SynopsisFormatError
+from repro.core.snapshot import (
+    SNAPSHOT_MAGIC,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_to_bytes,
+    synopsis_from_snapshot,
+    _section_table,
+    _SEC_HIST,
+)
+from repro.core.synopsis import XClusterSynopsis
+from repro.query import parse_twig
+from repro.values.summary import (
+    HistogramSummary,
+    StringSummary,
+    SummaryConfig,
+    TextSummary,
+    ValueType,
+    WaveletSummary,
+)
+
+
+@pytest.fixture(scope="module")
+def compressed(request):
+    imdb_small = request.getfixturevalue("imdb_small")
+    return build_xcluster(
+        imdb_small.tree,
+        structural_budget=3000,
+        value_budget=20000,
+        value_paths=imdb_small.value_paths,
+        config=BuildConfig(pool_max=500, pool_min=250),
+    )
+
+
+@pytest.fixture(scope="module")
+def families():
+    """A hand-built synopsis holding every value-summary family."""
+    config = SummaryConfig(histogram_buckets=8, wavelet_coefficients=8)
+    synopsis = XClusterSynopsis()
+    root = synopsis.add_node("root", ValueType.NULL, 1)
+    synopsis.root_id = root.node_id
+    hist = synopsis.add_node(
+        "year",
+        ValueType.NUMERIC,
+        6,
+        HistogramSummary.from_values([1987, 1990, 1990, 2001, 2010, 2024], config),
+    )
+    wave = synopsis.add_node(
+        "price",
+        ValueType.NUMERIC,
+        5,
+        WaveletSummary.from_values([3, 3, 7, 12, 40], config),
+    )
+    pst = synopsis.add_node(
+        "title",
+        ValueType.STRING,
+        4,
+        StringSummary.from_values(["alpha", "alps", "beta", "betamax"], config),
+    )
+    ebth = synopsis.add_node(
+        "abstract",
+        ValueType.TEXT,
+        3,
+        TextSummary.from_values(
+            [
+                frozenset({"xml", "synopsis"}),
+                frozenset({"xml", "tree"}),
+                frozenset({"histogram"}),
+            ],
+            config,
+        ),
+    )
+    for node in (hist, wave, pst, ebth):
+        synopsis.add_edge(root, node, 1.0)
+    synopsis.validate()
+    return synopsis
+
+
+PROBES = (
+    "//movie/title",
+    "//movie[./year >= 1990]/cast/actor",
+    "//movie/title[. contains(St)]",
+    "//movie/plot[. ftcontains(be)]",
+)
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip_is_bit_exact(self, compressed):
+        expected = synopsis_to_dict(compressed)
+        restored = synopsis_from_snapshot(snapshot_to_bytes(compressed))
+        assert synopsis_to_dict(restored) == expected
+
+    def test_eager_roundtrip_is_bit_exact(self, compressed):
+        restored = synopsis_from_snapshot(
+            snapshot_to_bytes(compressed), lazy=False
+        )
+        assert synopsis_to_dict(restored) == synopsis_to_dict(compressed)
+
+    def test_every_family_roundtrips(self, families):
+        expected = synopsis_to_dict(families)
+        restored = synopsis_from_snapshot(snapshot_to_bytes(families))
+        assert synopsis_to_dict(restored) == expected
+        kinds = {
+            type(node.vsumm).__name__
+            for node in restored
+            if node.vsumm is not None
+        }
+        assert kinds == {
+            "HistogramSummary",
+            "WaveletSummary",
+            "StringSummary",
+            "TextSummary",
+        }
+
+    def test_file_roundtrip_via_mmap(self, compressed, tmp_path):
+        path = str(tmp_path / "synopsis.snap")
+        save_snapshot(compressed, path)
+        restored = load_snapshot(path)
+        restored.validate()
+        assert synopsis_to_dict(restored) == synopsis_to_dict(compressed)
+
+    def test_file_roundtrip_without_mmap(self, compressed, tmp_path):
+        path = str(tmp_path / "synopsis.snap")
+        save_snapshot(compressed, path)
+        restored = load_snapshot(path, use_mmap=False)
+        assert synopsis_to_dict(restored) == synopsis_to_dict(compressed)
+
+    def test_estimates_are_bit_exact(self, compressed):
+        restored = synopsis_from_snapshot(snapshot_to_bytes(compressed))
+        original = CompiledEstimator(compressed)
+        reloaded = CompiledEstimator(restored)
+        for text in PROBES:
+            query = parse_twig(text)
+            assert reloaded.estimate(query) == original.estimate(query), text
+
+    def test_load_synopsis_autodetects_snapshots(self, compressed, tmp_path):
+        path = str(tmp_path / "either.bin")
+        save_snapshot(compressed, path)
+        restored = load_synopsis(path)  # JSON entry point, snapshot file
+        assert synopsis_to_dict(restored) == synopsis_to_dict(compressed)
+
+    def test_is_snapshot_distinguishes_formats(self, compressed, tmp_path):
+        snap = tmp_path / "s.snap"
+        jsn = tmp_path / "s.json"
+        save_snapshot(compressed, str(snap))
+        save_synopsis(compressed, str(jsn))
+        assert is_snapshot(str(snap))
+        assert not is_snapshot(str(jsn))
+
+    def test_empty_synopsis_roundtrips(self):
+        empty = XClusterSynopsis()
+        restored = synopsis_from_snapshot(snapshot_to_bytes(empty))
+        assert len(restored) == 0
+        assert restored.root_id is None
+        assert synopsis_to_dict(restored) == synopsis_to_dict(empty)
+
+    def test_single_node_no_summary_roundtrips(self):
+        synopsis = XClusterSynopsis()
+        node = synopsis.add_node("only", ValueType.NULL, 3)
+        synopsis.root_id = node.node_id
+        restored = synopsis_from_snapshot(snapshot_to_bytes(synopsis))
+        assert synopsis_to_dict(restored) == synopsis_to_dict(synopsis)
+
+    def test_pickle_of_lazy_load_is_bit_exact(self, compressed):
+        # The spawn worker pool pickles synopses; deferred summaries
+        # must materialize through __getstate__, not vanish.
+        restored = synopsis_from_snapshot(snapshot_to_bytes(compressed))
+        pickled = pickle.loads(pickle.dumps(restored))
+        assert synopsis_to_dict(pickled) == synopsis_to_dict(compressed)
+
+
+class TestLazyDecoding:
+    def test_summaries_defer_until_first_access(self, compressed):
+        restored = synopsis_from_snapshot(snapshot_to_bytes(compressed))
+        deferred = [n for n in restored if n.summary_deferred]
+        assert deferred, "lazy load materialized every summary up front"
+        probe = deferred[0]
+        assert probe.vsumm is not None  # first access decodes
+        assert not probe.summary_deferred
+
+    def test_eager_load_defers_nothing(self, compressed):
+        restored = synopsis_from_snapshot(
+            snapshot_to_bytes(compressed), lazy=False
+        )
+        assert not any(node.summary_deferred for node in restored)
+
+
+def _corrupt_hist_section(blob: bytes) -> bytes:
+    """Overwrite a histogram payload's bucket count with nonsense."""
+    sections = _section_table(blob)
+    hist = sections[_SEC_HIST]
+    mutated = bytearray(blob)
+    struct.pack_into("<Q", mutated, hist.offset, 2**60)
+    return bytes(mutated)
+
+
+class TestCorruption:
+    def test_wrong_magic_rejected(self, compressed):
+        blob = bytearray(snapshot_to_bytes(compressed))
+        blob[0] ^= 0xFF
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(bytes(blob))
+
+    def test_wrong_version_rejected(self, compressed):
+        blob = bytearray(snapshot_to_bytes(compressed))
+        blob[len(SNAPSHOT_MAGIC) - 1] ^= 0xFF
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(bytes(blob))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(b"")
+
+    @pytest.mark.parametrize("keep", [9, 12, 30, 80, 200])
+    def test_truncation_never_escapes_as_struct_error(self, compressed, keep):
+        blob = snapshot_to_bytes(compressed)
+        assert len(blob) > keep
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(blob[:keep], lazy=False)
+
+    def test_every_truncation_point_is_handled(self, families):
+        # Exhaustive for a small synopsis: every proper prefix must
+        # either raise SynopsisFormatError at load or (lazy sections)
+        # at first summary access — never struct.error / IndexError.
+        blob = snapshot_to_bytes(families)
+        for keep in range(len(blob)):
+            try:
+                restored = synopsis_from_snapshot(blob[:keep], lazy=False)
+            except SynopsisFormatError:
+                continue
+            # A prefix that still parses eagerly must be the full blob.
+            pytest.fail(f"truncation to {keep} bytes loaded silently")
+            del restored
+
+    def test_truncated_file_rejected(self, compressed, tmp_path):
+        path = tmp_path / "cut.snap"
+        path.write_bytes(snapshot_to_bytes(compressed)[:64])
+        with pytest.raises(SynopsisFormatError):
+            load_snapshot(str(path))
+
+    def test_corrupt_payload_raises_on_eager_load(self, compressed):
+        blob = _corrupt_hist_section(snapshot_to_bytes(compressed))
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(blob, lazy=False)
+
+    def test_corrupt_payload_raises_at_first_lazy_access(self, compressed):
+        blob = _corrupt_hist_section(snapshot_to_bytes(compressed))
+        restored = synopsis_from_snapshot(blob)  # structure is intact
+        bad = [
+            node
+            for node in restored
+            if node.summary_deferred
+            and isinstance(compressed.nodes[node.node_id].vsumm, HistogramSummary)
+        ]
+        assert bad
+        with pytest.raises(SynopsisFormatError):
+            bad[0].vsumm
+        # The thunk stays parked: every access raises, none degrades
+        # to "no summary".
+        with pytest.raises(SynopsisFormatError):
+            bad[0].vsumm
+
+    def test_corrupt_payload_is_auditable(self, compressed):
+        from repro.check import InvariantAuditor
+
+        blob = _corrupt_hist_section(snapshot_to_bytes(compressed))
+        restored = synopsis_from_snapshot(blob)
+        violations = InvariantAuditor().audit(restored)
+        assert any(v.invariant == "summary-decode" for v in violations)
+
+    def test_oversized_node_count_rejected(self, compressed):
+        # Unpack the section table, point the NODES entry count sky
+        # high by growing a node's label reference out of pool range.
+        blob = snapshot_to_bytes(compressed)
+        sections = _section_table(blob)
+        from repro.core.snapshot import _SEC_NODES
+
+        nodes = sections[_SEC_NODES]
+        mutated = bytearray(blob)
+        struct.pack_into("<Q", mutated, nodes.offset, 2**60)
+        with pytest.raises(SynopsisFormatError):
+            synopsis_from_snapshot(bytes(mutated))
+
+    def test_unencodable_synopsis_rejected_at_save(self, families):
+        # A count beyond i64 cannot be represented; the encoder must
+        # refuse with a format error rather than a struct error.
+        oversized = copy.deepcopy(families)
+        node = next(iter(oversized))
+        node.count = 2**70
+        with pytest.raises(SynopsisFormatError):
+            snapshot_to_bytes(oversized)
