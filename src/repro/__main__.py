@@ -6,12 +6,13 @@ Subcommands::
         --structural-budget 4096 --value-budget 32768 [--format snapshot]
     python -m repro estimate synopsis.bin "//movie[./year >= 2000]/title"
     python -m repro convert synopsis.json synopsis.bin --format snapshot
-    python -m repro serve synopsis.bin [--host H] [--port P] [--workers N]
+    python -m repro serve (synopsis.bin | --document INPUT.xml) \
+        [--host H] [--port P] [--workers N]
     python -m repro evaluate INPUT.xml "//movie[./year >= 2000]/title" \
         [--engine interval|treewalk]
     python -m repro experiments [--scale 0.25] [--queries 15]
     python -m repro check [--rounds 3] [--seed S] [--synopsis FILE] \
-        [--evaluator]
+        [--evaluator] [--updates [--updates-per-round N]]
     python -m repro ingest INPUT.xml [--chunk-size N] [--compare]
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
@@ -90,19 +91,45 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeEngine, run_server
 
-    synopsis = load_synopsis(args.synopsis)  # format auto-detected
-    engine = ServeEngine(
-        synopsis,
-        workers=args.workers,
-        window_seconds=args.window_ms / 1000.0,
-        max_batch=args.max_batch,
-    )
-    print(
-        f"loaded {args.synopsis}: {len(synopsis)} clusters, "
-        f"{total_size_bytes(synopsis)} synopsis bytes, "
-        f"workers={engine.workers}",
-        flush=True,
-    )
+    if (args.synopsis is None) == (args.document is None):
+        print(
+            "serve needs exactly one of a saved synopsis or --document",
+            file=sys.stderr,
+        )
+        return 2
+    if args.document is not None:
+        from repro.update import IncrementalMaintainer
+        from repro.xmltree import ingest_file
+
+        doc = ingest_file(args.document)
+        maintainer = IncrementalMaintainer(doc)
+        engine = ServeEngine(
+            maintainer=maintainer,
+            workers=args.workers,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+        )
+        print(
+            f"maintaining {args.document}: {len(doc)} elements -> "
+            f"{len(engine.synopsis)} clusters, "
+            f"{total_size_bytes(engine.synopsis)} synopsis bytes, "
+            f"workers={engine.workers}, updates enabled (POST /update)",
+            flush=True,
+        )
+    else:
+        synopsis = load_synopsis(args.synopsis)  # format auto-detected
+        engine = ServeEngine(
+            synopsis,
+            workers=args.workers,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+        )
+        print(
+            f"loaded {args.synopsis}: {len(synopsis)} clusters, "
+            f"{total_size_bytes(synopsis)} synopsis bytes, "
+            f"workers={engine.workers}",
+            flush=True,
+        )
     run_server(engine, host=args.host, port=args.port)
     return 0
 
@@ -204,13 +231,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
         InvariantAuditor,
     )
 
-    if args.evaluator:
-        # Evaluator-focused fuzz: interval-vs-treewalk parity rounds
-        # only, so many more probes fit in the same wall-clock.
+    if args.evaluator or args.updates:
+        # Focused fuzz modes: a single stage per round, so many more
+        # probes fit in the same wall-clock than the full pipeline.
         harness = DifferentialHarness(
-            HarnessConfig(seed=args.seed, rounds=args.rounds)
+            HarnessConfig(
+                seed=args.seed,
+                rounds=args.rounds,
+                updates_per_round=args.updates_per_round,
+            )
         )
-        report = harness.run_evaluator()
+        report = (
+            harness.run_updates() if args.updates else harness.run_evaluator()
+        )
         if args.json:
             print(json_module.dumps(report.to_dict(), indent=2))
         else:
@@ -359,7 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the always-on estimation daemon"
     )
     serve.add_argument(
-        "synopsis", help="synopsis path (JSON or snapshot, auto-detected)"
+        "synopsis",
+        nargs="?",
+        help="synopsis path (JSON or snapshot, auto-detected); "
+        "omit when using --document",
+    )
+    serve.add_argument(
+        "--document",
+        help="serve a live synopsis maintained over this XML document "
+        "(enables POST /update)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -440,6 +481,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run evaluator-only fuzz rounds (interval-join engine vs "
         "tree-walk oracle on workload + mutated twigs)",
+    )
+    check.add_argument(
+        "--updates",
+        action="store_true",
+        help="run update-maintenance fuzz rounds (incremental maintainer "
+        "vs rebuild-from-scratch after every seeded random update)",
+    )
+    check.add_argument(
+        "--updates-per-round",
+        type=int,
+        default=40,
+        help="random update ops per --updates round (default %(default)s)",
     )
     check.add_argument(
         "--json", action="store_true", help="emit a JSON report"

@@ -22,7 +22,7 @@ from repro.check.diffharness import (
 )
 from repro.check.invariants import InvariantAuditor, Violation, audit_synopsis
 from repro.check.report import CheckReport, Failure
-from repro.check.shrink import shrink_document, shrink_query
+from repro.check.shrink import shrink_document, shrink_query, shrink_updates
 
 __all__ = [
     "CheckReport",
@@ -37,4 +37,5 @@ __all__ = [
     "run_differential_check",
     "shrink_document",
     "shrink_query",
+    "shrink_updates",
 ]

@@ -34,6 +34,17 @@ exercises them on *arbitrary* documents, generated from a seed:
    and error offsets must all agree.  Diverging inputs are shrunk
    character-wise (:func:`repro.check.shrink.shrink_text`).
 
+A tenth, update-focused round (``run_updates`` / ``python -m repro
+check --updates``) fuzzes incremental maintenance: seeded random
+subtree inserts / deletes / value changes are applied to a columnar
+document through the :class:`~repro.update.maintainer.
+IncrementalMaintainer` **and** to an object-tree twin, and after every
+single step the mutated columns must equal ``freeze(twin)``'s, the
+maintained synopsis must equal a rebuild-from-scratch bit-exactly
+(``synopsis_to_dict``), and the invariant auditor must stay green.  A
+failing sequence is minimized with :func:`repro.check.shrink.
+shrink_updates` (ddmin over ops, mirroring ``shrink_text``).
+
 Every failure records the round seed — re-running the harness with
 ``HarnessConfig(seed=<that seed>, rounds=1)`` reproduces it exactly —
 and is shrunk to a minimal counterexample before reporting (see
@@ -44,6 +55,7 @@ is touched.
 
 from __future__ import annotations
 
+import json
 import random
 import traceback
 from dataclasses import dataclass, field, replace
@@ -56,6 +68,7 @@ from repro.check.shrink import (
     shrink_document,
     shrink_query,
     shrink_text,
+    shrink_updates,
 )
 from repro.core.builder import BuildConfig, XClusterBuilder
 from repro.core.estimation import CompiledEstimator
@@ -69,6 +82,17 @@ from repro.datasets.dataset import Dataset
 from repro.query.ast import WILDCARD, AxisStep, EdgePath, TwigQuery
 from repro.query.evaluator import TreeWalkEvaluator
 from repro.query.interval import IntervalEvaluator
+from repro.update.maintainer import IncrementalMaintainer
+from repro.update.ops import (
+    DeleteSubtree,
+    InsertSubtree,
+    UpdateOp,
+    ValueChange,
+    apply_update_tree,
+    update_to_dict,
+    validate_update,
+)
+from repro.values.summary import SummaryConfig
 from repro.workload.generator import TwigWorkloadGenerator, WorkloadConfig
 from repro.workload.negative import make_negative_workload
 from repro.xmltree.columnar import freeze, ingest_string
@@ -206,6 +230,9 @@ class HarnessConfig:
         evaluator_variants: mutated (``//``-heavy / wildcard) twig
             probes derived from each workload query in the evaluator
             round (every unmutated query is always probed as well).
+        updates_per_round: seeded random update ops applied per update
+            round (``run_updates``), with maintained-vs-rebuilt parity
+            asserted after every single op.
         document: document-shape configuration.
     """
 
@@ -220,6 +247,7 @@ class HarnessConfig:
     audit_predicate_limit: int = 8
     tokenizer_variants: int = 6
     evaluator_variants: int = 3
+    updates_per_round: int = 40
     document: DocumentConfig = field(default_factory=DocumentConfig)
 
 
@@ -394,6 +422,227 @@ class DifferentialHarness:
         report.queries_checked = len(queries)
         report.failures.extend(self._evaluator_failures(seed, document, queries))
         return report
+
+    def run_updates(self) -> CheckReport:
+        """Update-maintenance rounds (``python -m repro check --updates``).
+
+        Each round applies :attr:`HarnessConfig.updates_per_round`
+        seeded random ops and asserts, after **every** op: mutated
+        columns equal ``freeze``-of-twin columns, maintained synopsis
+        equals rebuild-from-scratch bit-exactly, invariant auditor
+        green.  A failing sequence is ddmin-minimized.
+        """
+        master = random.Random(self.config.seed)
+        report = CheckReport(seed=self.config.seed)
+        for _ in range(self.config.rounds):
+            round_seed = master.randrange(2**32)
+            try:
+                report.extend(self.run_update_round(round_seed))
+            except Exception:  # noqa: BLE001 - a crash IS a finding
+                report.failures.append(
+                    Failure(
+                        kind="crash",
+                        seed=round_seed,
+                        message=traceback.format_exc(limit=6).strip(),
+                    )
+                )
+                report.rounds += 1
+        return report
+
+    def run_update_round(self, seed: int) -> CheckReport:
+        """One update-maintenance round, reproducible from ``seed``."""
+        report = CheckReport(rounds=1)
+        rng = random.Random(seed)
+        document = self.documents.generate(rng)
+        xml = serialize(document)
+        # Updates draw from a private seed-derived stream, so document
+        # generation (shared with the other rounds) stays untouched.
+        update_rng = random.Random(seed ^ 0x0BDA7E5)
+        maintainer = IncrementalMaintainer(
+            ingest_string(xml, text_word_threshold=2),
+            None,
+            text_word_threshold=2,
+        )
+        twin = parse_string(xml, text_word_threshold=2)
+        ops: List[UpdateOp] = []
+        for step in range(self.config.updates_per_round):
+            op = self._random_update(maintainer.doc, update_rng)
+            ops.append(op)
+            problem = self._update_step_problem(maintainer, twin, op)
+            if problem is not None:
+                report.failures.append(
+                    self._shrunk_update_failure(
+                        seed, xml, ops, f"step {step}: {problem}"
+                    )
+                )
+                return report  # later steps on a diverged state are noise
+        report.queries_checked = len(ops)
+        return report
+
+    # -- update round ---------------------------------------------------------
+
+    def _random_update(self, doc, rng: random.Random) -> UpdateOp:
+        """One random op against the doc's *current* state.
+
+        Ops are recorded before validation, so replay (and ddmin) is a
+        pure function of the recorded list — ops the mutated state no
+        longer admits are skipped identically on both substrates.
+        """
+        size = len(doc)
+        roll = rng.random()
+        if roll < 0.35:
+            parent = rng.randrange(size)
+            position = rng.randint(0, sum(1 for _ in doc.children(parent)))
+            return InsertSubtree(parent, position, self._fragment(rng))
+        if roll < 0.60 and size > 1:
+            return DeleteSubtree(rng.randrange(1, size))
+        return ValueChange(rng.randrange(size), self._random_value_text(rng))
+
+    def _fragment(self, rng: random.Random) -> str:
+        """Serialized XML for a small insertable fragment (1-5 elements).
+
+        Values go only on childless nodes, mirroring the generator's
+        round-trip-safety rule: both substrates parse the fragment from
+        its serialized form, so mixed content would desynchronize them.
+        """
+        config = self.config.document
+        root = XMLElement(rng.choice(config.labels))
+        nodes = [root]
+        for _ in range(rng.randrange(5)):
+            parent = rng.choice(nodes)
+            nodes.append(parent.add(rng.choice(config.labels)))
+        for node in nodes:
+            if not node.children and rng.random() < config.value_probability:
+                vtype = rng.choice(
+                    (ValueType.NUMERIC, ValueType.STRING, ValueType.TEXT)
+                )
+                node.set_value(self.documents._value(vtype, rng))
+        return serialize(XMLTree(root))
+
+    def _random_value_text(self, rng: random.Random) -> str:
+        """Raw text for a ``ValueChange``, covering every typing path."""
+        roll = rng.randrange(6)
+        if roll == 0:
+            return str(rng.randint(0, self.config.document.numeric_high))
+        if roll == 1:
+            return str(-rng.randint(1, 50))
+        if roll == 2:  # int64 overflow -> side-table path
+            return str(2**63 + rng.randint(0, 9))
+        if roll == 3:  # single non-numeric word -> STRING
+            return "".join(
+                rng.choice(_SYLLABLES) for _ in range(rng.randint(2, 4))
+            )
+        if roll == 4:  # >= text_word_threshold words -> TEXT
+            return " ".join(rng.sample(_TERM_POOL, rng.randint(2, 4)))
+        return "  "  # whitespace-only -> value removal (NULL)
+
+    def _update_step_problem(
+        self, maintainer: IncrementalMaintainer, twin: XMLTree, op: UpdateOp
+    ) -> Optional[str]:
+        """Apply one op to both substrates; first parity violation or None.
+
+        Inapplicable ops (stale index after a delete, etc.) are skipped
+        — a deterministic no-op on both sides, which keeps ddmin replay
+        honest.  After an applied op the maintained columns must equal
+        ``freeze(twin)``'s semantically, the maintained synopsis must
+        equal a rebuild-from-scratch bit-exactly, and the invariant
+        auditor must stay green.
+        """
+        if validate_update(maintainer.doc, op) is not None:
+            return None
+        maintainer.apply(op)
+        apply_update_tree(twin, op, 2)
+        oracle_doc = freeze(twin)
+        mismatch = self._columns_mismatch(maintainer.doc, oracle_doc)
+        if mismatch is not None:
+            return f"column divergence after {op.op}: {mismatch}"
+        rebuilt = build_reference_synopsis(oracle_doc, None, SummaryConfig())
+        if synopsis_to_dict(maintainer.synopsis) != synopsis_to_dict(rebuilt):
+            return (
+                f"maintained synopsis diverges from rebuild after {op.op} "
+                f"({len(maintainer.synopsis)} vs {len(rebuilt)} nodes)"
+            )
+        violations = self.auditor.audit(maintainer.synopsis)
+        if violations:
+            return (
+                f"maintained synopsis fails audit after {op.op}: "
+                f"{violations[0]}"
+            )
+        return None
+
+    @staticmethod
+    def _columns_mismatch(doc, oracle) -> Optional[str]:
+        """First column disagreement between two columnar documents.
+
+        Structural columns hold element indices, so they compare raw;
+        labels, paths, and values compare *semantically* (interned ids
+        may renumber once mutation history diverges from ingest order —
+        a deleted label keeps its slot in the mutated doc's table).
+        """
+        if len(doc) != len(oracle):
+            return f"element count {len(doc)} vs {len(oracle)}"
+        for name in ("parent", "first_child", "next_sibling", "post", "level"):
+            mine = getattr(doc, name)
+            theirs = getattr(oracle, name)
+            for index in range(len(doc)):
+                if mine[index] != theirs[index]:
+                    return f"{name}[{index}] = {mine[index]} vs {theirs[index]}"
+        for index in range(len(doc)):
+            if doc.label(index) != oracle.label(index):
+                return (
+                    f"label[{index}] = {doc.label(index)!r} "
+                    f"vs {oracle.label(index)!r}"
+                )
+            if doc.label_path(index) != oracle.label_path(index):
+                return (
+                    f"path[{index}] = {doc.label_path(index)!r} "
+                    f"vs {oracle.label_path(index)!r}"
+                )
+            if doc.value(index) != oracle.value(index):
+                return (
+                    f"value[{index}] = {doc.value(index)!r} "
+                    f"vs {oracle.value(index)!r}"
+                )
+        return None
+
+    def _updates_diverge(self, xml: str, ops: Sequence[UpdateOp]) -> bool:
+        """ddmin predicate: does replaying ``ops`` from ``xml`` still fail?"""
+        try:
+            maintainer = IncrementalMaintainer(
+                ingest_string(xml, text_word_threshold=2),
+                None,
+                text_word_threshold=2,
+            )
+            twin = parse_string(xml, text_word_threshold=2)
+            for op in ops:
+                if self._update_step_problem(maintainer, twin, op) is not None:
+                    return True
+        except Exception:  # noqa: BLE001 - a crash still reproduces a bug
+            return True
+        return False
+
+    def _shrunk_update_failure(
+        self, seed: int, xml: str, ops: List[UpdateOp], message: str
+    ) -> Failure:
+        """An ``update-divergence`` failure; size fields count *ops*."""
+        failure = Failure(
+            kind="update-divergence",
+            seed=seed,
+            message=message,
+            document_size=len(ops),
+        )
+        if not self.config.shrink:
+            return failure
+        shrunk = shrink_updates(
+            list(ops),
+            lambda sequence: self._updates_diverge(xml, sequence),
+            max_attempts=self.config.shrink_attempts,
+        )
+        failure.shrunk_size = len(shrunk)
+        failure.shrunk_document = json.dumps(
+            [update_to_dict(op) for op in shrunk]
+        )
+        return failure
 
     # -- stages ---------------------------------------------------------------
 

@@ -24,7 +24,12 @@ class Failure:
             ``"estimate-divergence"``, ``"audit"``,
             ``"serialization-divergence"``, ``"columnar-divergence"``,
             ``"evaluator-divergence"``, ``"tokenizer-divergence"``,
-            ``"crash"``).
+            ``"update-divergence"``, ``"crash"``).  For
+            ``"tokenizer-divergence"`` the size fields count characters
+            of the malformed input; for ``"update-divergence"`` the
+            size fields count *update ops* (``document_size`` applied,
+            ``shrunk_size`` after ddmin, ``shrunk_document`` their
+            JSON-encoded minimal sequence).
         seed: the round seed; re-running the harness round with this
             seed reproduces the failure deterministically.
         message: what diverged, with both values where applicable.

@@ -143,6 +143,44 @@ def shrink_text(
     return text
 
 
+def shrink_updates(
+    ops: list,
+    fails: Callable[[list], bool],
+    max_attempts: int = 200,
+) -> list:
+    """Greedily minimize a failing update sequence (ddmin-style).
+
+    The update-round counterexample is an *op list*, not a document, so
+    minimization mirrors :func:`shrink_text` over list items: delete
+    spans of ops, halving the span whenever a full sweep removes
+    nothing, until single-op deletions stop helping or the budget runs
+    out.  ``fails`` must replay the surviving subsequence from the
+    round's initial document and skip ops their targets no longer admit
+    (``validate_update`` makes that deterministic on both substrates).
+
+    Returns a list no longer than ``ops`` for which ``fails`` still
+    holds (the input itself in the worst case).
+    """
+    attempts = 0
+    span = max(1, len(ops) // 2)
+    while attempts < max_attempts:
+        removed = False
+        index = 0
+        while index < len(ops) and attempts < max_attempts:
+            candidate = ops[:index] + ops[index + span:]
+            attempts += 1
+            if len(candidate) < len(ops) and fails(candidate):
+                ops = candidate
+                removed = True
+            else:
+                index += span
+        if not removed:
+            if span == 1:
+                break
+            span = max(1, span // 2)
+    return ops
+
+
 def copy_query(query: TwigQuery) -> TwigQuery:
     """A deep copy of a twig (edges and predicates shared, they are frozen)."""
     return TwigQuery(_copy_query_node(query.root))

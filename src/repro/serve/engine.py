@@ -39,6 +39,8 @@ from repro.core.synopsis import XClusterSynopsis
 from repro.query.ast import TwigQuery
 from repro.query.jsonast import QueryFormatError, twig_from_dict
 from repro.query.xpath import XPathSyntaxError, parse_twig
+from repro.update.maintainer import IncrementalMaintainer
+from repro.update.ops import UpdateOp
 
 #: Default coalescing window.  Zero means "flush on the next event-loop
 #: iteration": every request whose bytes were readable in the same loop
@@ -166,13 +168,23 @@ class ServeEngine:
 
     def __init__(
         self,
-        synopsis: XClusterSynopsis,
+        synopsis: Optional[XClusterSynopsis] = None,
         workers: int = 1,
         max_path_length: int = 40,
         window_seconds: float = DEFAULT_WINDOW_SECONDS,
         max_batch: int = DEFAULT_MAX_BATCH,
+        maintainer: Optional[IncrementalMaintainer] = None,
     ) -> None:
-        self.synopsis = synopsis
+        if (synopsis is None) == (maintainer is None):
+            raise ValueError(
+                "ServeEngine needs exactly one of a synopsis or a maintainer"
+            )
+        self.maintainer = maintainer
+        # A maintainer-backed engine serves the maintainer's live
+        # synopsis; grafts preserve object identity, so this binding
+        # (and every derived cache, through the version protocol) stays
+        # valid across ``/update`` batches.
+        self.synopsis = synopsis if maintainer is None else maintainer.synopsis
         self.workers = max(1, workers)
         self.max_path_length = max_path_length
         self.workload = WorkloadEstimator([], max_path_length)
@@ -185,6 +197,25 @@ class ServeEngine:
     def estimator(self) -> CompiledEstimator:
         """The shared compiled estimator bound to the loaded synopsis."""
         return self.workload.estimator_for(self.synopsis)
+
+    def apply_updates(self, ops: List[UpdateOp]) -> List[Dict[str, Any]]:
+        """Apply a document-update batch through the live maintainer.
+
+        Returns one result dict per applied op.  Raises ``ValueError``
+        when the engine serves a static synopsis (no maintainer) or
+        when an op is invalid against the current document — earlier
+        ops in the batch stay applied, and the synopsis version has
+        already advanced past them, so serving state remains coherent.
+        """
+        if self.maintainer is None:
+            raise ValueError(
+                "this engine serves a static synopsis; restart it from a "
+                "document to accept updates"
+            )
+        results = []
+        for op in ops:
+            results.append(self.maintainer.apply(op))
+        return results
 
     def parse_request_query(self, payload: Dict[str, Any]) -> TwigQuery:
         """A twig from a request body: ``query`` (XPath) or ``ast``.
@@ -235,7 +266,13 @@ class ServeEngine:
 
     def stats_snapshot(self) -> Dict[str, Any]:
         """A point-in-time copy of the serving counters (see ``/stats``)."""
-        return self.stats.snapshot()
+        snapshot = self.stats.snapshot()
+        if self.maintainer is not None:
+            maintenance = self.maintainer.stats.snapshot()
+            maintenance["synopsis_version"] = self.synopsis.version
+            maintenance["document_elements"] = len(self.maintainer.doc)
+            snapshot["maintenance"] = maintenance
+        return snapshot
 
 
 class _PendingPlan:

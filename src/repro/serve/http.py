@@ -15,6 +15,14 @@ another service) can talk to the daemon without a client library:
 * ``POST /batch`` — body ``{"queries": [<request body>, ...]}``;
   response ``{"estimates": [...]}``.  Large batches shard over the
   copy-on-write worker pool.
+* ``POST /update`` — body ``{"updates": [<update dict>, ...]}``
+  (:func:`repro.update.ops.update_from_dict`); response
+  ``{"applied": N, "version": V, "elements": E}``.  Only available
+  when the engine was started from a document (``repro serve
+  --document``), so an :class:`~repro.update.maintainer.
+  IncrementalMaintainer` owns the synopsis; 400 otherwise.  The
+  maintainer bumps the synopsis version per applied op, which
+  invalidates the shared plan/index caches mid-stream.
 * ``POST /shutdown`` — graceful stop (used by tests and the CI smoke
   job; a production deployment would firewall it).
 
@@ -30,6 +38,7 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.serve.engine import ServeEngine
+from repro.update.ops import UpdateFormatError, update_from_dict
 
 #: Request bodies above this size are rejected (a twig AST is tiny).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -265,6 +274,32 @@ class SynopsisServer:
             estimates = self.engine.estimate_batch(queries)
             self.engine.stats.record_batch(len(queries), len(queries))
             return 200, {"estimates": estimates}
+        if path == "/update":
+            if method != "POST":
+                raise _HttpError(405, "use POST /update")
+            payload = _parse_json_body(body)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("updates"), list
+            ):
+                raise _HttpError(400, "body must be {'updates': [...]}")
+            try:
+                ops = [update_from_dict(item) for item in payload["updates"]]
+            except UpdateFormatError as err:
+                self.engine.stats.errors += 1
+                raise _HttpError(400, str(err))
+            try:
+                results = self.engine.apply_updates(ops)
+            except ValueError as err:
+                # Either a static-synopsis engine, or an op invalid
+                # against the current document.  Earlier ops in the
+                # batch stay applied; report how far we got.
+                self.engine.stats.errors += 1
+                raise _HttpError(400, str(err))
+            return 200, {
+                "applied": len(results),
+                "version": self.engine.synopsis.version,
+                "elements": results[-1]["elements"] if results else None,
+            }
         if path == "/shutdown":
             if method != "POST":
                 raise _HttpError(405, "use POST /shutdown")
