@@ -63,6 +63,17 @@ OPTIONAL_FIELDS = {
     "p50_ms": (int, float),
     "p99_ms": (int, float),
     "cache_hit_rate": (int, float),
+    "shard_count": (int,),
+    "zipf_skew": (int, float),
+    "budget_distribution": (list,),
+}
+
+#: Optional list-valued fields: every element must match these types
+#: (checked only when the field is present and is a list).  The
+#: collection bench records its per-shard byte budgets here, so the
+#: skew a rebalance produced is auditable straight from the report.
+LIST_ELEMENT_FIELDS = {
+    "budget_distribution": (int, float),
 }
 
 
@@ -94,6 +105,20 @@ def validate_report(report: object) -> List[str]:
                 f"field {field!r} is {type(value).__name__}, expected "
                 + " or ".join(t.__name__ for t in types)
             )
+    for field, element_types in LIST_ELEMENT_FIELDS.items():
+        value = report.get(field)
+        if not isinstance(value, list):
+            continue
+        for index, element in enumerate(value):
+            if isinstance(element, bool) or not isinstance(
+                element, element_types
+            ):
+                issues.append(
+                    f"field {field!r} element {index} is "
+                    f"{type(element).__name__}, expected "
+                    + " or ".join(t.__name__ for t in element_types)
+                )
+                break
     if (
         isinstance(report.get("schema_version"), int)
         and report["schema_version"] != SCHEMA_VERSION

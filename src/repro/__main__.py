@@ -12,8 +12,13 @@ Subcommands::
         [--engine interval|treewalk]
     python -m repro experiments [--scale 0.25] [--queries 15]
     python -m repro check [--rounds 3] [--seed S] [--synopsis FILE] \
-        [--evaluator] [--updates [--updates-per-round N]]
+        [--evaluator] [--updates [--updates-per-round N]] [--collection]
     python -m repro ingest INPUT.xml [--chunk-size N] [--compare]
+    python -m repro collection build ROOT --input DIR [--shards N] \
+        [--budget B] [--workers W] [--no-compress]
+    python -m repro collection rebalance ROOT --log LOG.jsonl
+    python -m repro collection stats ROOT [--json]
+    python -m repro collection export ROOT --edge-model OUT_DIR
 
 ``summarize`` parses an XML file, builds a budgeted XCluster synopsis,
 and saves it as interchange JSON or the binary mmap snapshot format;
@@ -28,7 +33,10 @@ subsystem — the invariant auditor over a fresh (or saved) synopsis plus
 the seeded engine-parity fuzzer — and exits non-zero on any violation
 (see docs/TESTING.md); ``ingest`` stream-parses a document into the
 columnar store and reports its shape, optionally comparing against the
-object-tree parse.
+object-tree parse; ``collection`` manages a directory-of-snapshots
+collection store — parallel dedup build, workload-driven budget
+rebalance from an observed query log, stats, and edge-model CSV export
+— which ``serve --collection`` then serves with per-document routing.
 """
 
 from __future__ import annotations
@@ -91,13 +99,40 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeEngine, run_server
 
-    if (args.synopsis is None) == (args.document is None):
+    given = [
+        source
+        for source in (args.synopsis, args.document, args.collection)
+        if source is not None
+    ]
+    if len(given) != 1:
         print(
-            "serve needs exactly one of a saved synopsis or --document",
+            "serve needs exactly one of a saved synopsis, --document, "
+            "or --collection",
             file=sys.stderr,
         )
         return 2
-    if args.document is not None:
+    if args.collection is not None:
+        from repro.collection import CollectionStore
+        from repro.serve import CollectionServeEngine
+
+        store = CollectionStore(
+            args.collection, max_open_shards=args.max_open_shards
+        )
+        engine = CollectionServeEngine(
+            store,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+        )
+        manifest = store.manifest
+        print(
+            f"collection {args.collection} v{manifest.version}: "
+            f"{manifest.documents} documents across "
+            f"{manifest.shard_count} shards "
+            f"(rollup: {'yes' if manifest.rollup_path else 'no'}), "
+            f"routing /estimate by 'doc', read-only",
+            flush=True,
+        )
+    elif args.document is not None:
         from repro.update import IncrementalMaintainer
         from repro.xmltree import ingest_file
 
@@ -231,7 +266,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         InvariantAuditor,
     )
 
-    if args.evaluator or args.updates:
+    if args.evaluator or args.updates or args.collection:
         # Focused fuzz modes: a single stage per round, so many more
         # probes fit in the same wall-clock than the full pipeline.
         harness = DifferentialHarness(
@@ -241,9 +276,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 updates_per_round=args.updates_per_round,
             )
         )
-        report = (
-            harness.run_updates() if args.updates else harness.run_evaluator()
-        )
+        if args.updates:
+            report = harness.run_updates()
+        elif args.collection:
+            report = harness.run_collection()
+        else:
+            report = harness.run_evaluator()
         if args.json:
             print(json_module.dumps(report.to_dict(), indent=2))
         else:
@@ -338,6 +376,132 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0 if synopses_match and stats_match else 1
 
 
+def _read_query_log(path: str):
+    """An observed query log: JSON lines of ``{"doc": ..., "query": ...}``.
+
+    A JSON array of the same objects is accepted too (the serve tier
+    and tests emit either).  Returns ``[(doc_id, TwigQuery), ...]``.
+    """
+    import json as json_module
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        rows = json_module.loads(stripped)
+    else:
+        rows = [
+            json_module.loads(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+    log = []
+    for row in rows:
+        if not isinstance(row, dict) or "doc" not in row or "query" not in row:
+            raise ValueError(
+                "each log entry must be an object with 'doc' and 'query'"
+            )
+        log.append((row["doc"], parse_twig(row["query"])))
+    return log
+
+
+def _cmd_collection(args: argparse.Namespace) -> int:
+    import json as json_module
+    from time import perf_counter
+
+    from repro.collection import (
+        CollectionConfig,
+        CollectionStore,
+        build_collection,
+        export_edge_model,
+        rebalance_collection,
+    )
+
+    if args.action == "build":
+        inputs = sorted(
+            name
+            for name in os.listdir(args.input)
+            if name.endswith(".xml")
+        )
+        if not inputs:
+            print(f"no .xml files under {args.input}", file=sys.stderr)
+            return 2
+
+        def documents():
+            for name in inputs:
+                with open(
+                    os.path.join(args.input, name), "r", encoding="utf-8"
+                ) as handle:
+                    yield name, handle.read()
+
+        config = CollectionConfig(
+            shard_count=args.shards,
+            total_budget=args.budget,
+            structural_share=args.structural_share,
+            compress=not args.no_compress,
+            workers=args.workers,
+        )
+        started = perf_counter()
+        manifest, report = build_collection(args.root, documents(), config)
+        elapsed = perf_counter() - started
+        print(
+            f"built {args.root} v{manifest.version}: {report.documents} "
+            f"documents ({report.distinct_structures} distinct, "
+            f"{report.dedup_rate:.0%} deduplicated) across "
+            f"{manifest.shard_count} shards in {elapsed:.2f}s "
+            f"(workers={report.workers_effective}, "
+            f"budget={manifest.total_budget} bytes, "
+            f"rollup: {'yes' if manifest.rollup_path else 'no'})"
+        )
+        return 0
+
+    if args.action == "rebalance":
+        log = _read_query_log(args.log)
+        started = perf_counter()
+        manifest, report = rebalance_collection(
+            args.root, log, workers=args.workers
+        )
+        elapsed = perf_counter() - started
+        multipliers = ", ".join(
+            f"{shard_id}:{multiplier:.2f}"
+            for shard_id, multiplier in sorted(report.multipliers.items())
+        )
+        print(
+            f"rebalanced {args.root} -> v{manifest.version} from "
+            f"{len(log)} logged queries in {elapsed:.2f}s: "
+            f"{report.payloads_reused} payloads reused, "
+            f"{report.payload_builds} recompressed; "
+            f"multipliers [{multipliers}]"
+        )
+        return 0
+
+    if args.action == "stats":
+        store = CollectionStore(args.root, verify=args.verify)
+        snapshot = store.stats_snapshot()
+        if args.json:
+            print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            budgets = ", ".join(
+                str(budget) for budget in snapshot["budget_distribution"]
+            )
+            print(
+                f"{args.root} v{snapshot['version']}: "
+                f"{snapshot['documents']} documents, "
+                f"{snapshot['distinct_structures']} distinct structures, "
+                f"{snapshot['shard_count']} shards, "
+                f"budget {snapshot['total_budget']} bytes [{budgets}], "
+                f"rollup: {'yes' if snapshot['rollup'] else 'no'}"
+            )
+        return 0
+
+    # export
+    store = CollectionStore(args.root)
+    written = export_edge_model(store, args.edge_model)
+    for name in sorted(written):
+        print(f"{os.path.join(args.edge_model, name)}: {written[name]} rows")
+    return 0
+
+
 def _default_rounds() -> int:
     """Fuzz rounds: the ``REPRO_CHECK_ROUNDS`` env knob, default 3."""
     try:
@@ -401,6 +565,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--document",
         help="serve a live synopsis maintained over this XML document "
         "(enables POST /update)",
+    )
+    serve.add_argument(
+        "--collection",
+        help="serve a built collection directory (routes /estimate by "
+        "document id; read-only)",
+    )
+    serve.add_argument(
+        "--max-open-shards",
+        type=int,
+        default=8,
+        help="LRU capacity of open shard containers with --collection "
+        "(default %(default)s)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -495,6 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="random update ops per --updates round (default %(default)s)",
     )
     check.add_argument(
+        "--collection",
+        action="store_true",
+        help="run collection-store fuzz rounds (shard-routed estimates "
+        "vs a monolithic single-synopsis oracle on the merged document)",
+    )
+    check.add_argument(
         "--json", action="store_true", help="emit a JSON report"
     )
     check.set_defaults(handler=_cmd_check)
@@ -517,6 +699,89 @@ def build_parser() -> argparse.ArgumentParser:
         "(exits non-zero on divergence)",
     )
     ingest.set_defaults(handler=_cmd_ingest)
+
+    collection = commands.add_parser(
+        "collection",
+        help="manage a directory-of-snapshots collection store",
+    )
+    actions = collection.add_subparsers(dest="action", required=True)
+
+    coll_build = actions.add_parser(
+        "build", help="build a collection from a directory of XML files"
+    )
+    coll_build.add_argument("root", help="collection directory to create")
+    coll_build.add_argument(
+        "--input",
+        required=True,
+        help="directory of .xml documents (file name becomes the doc id)",
+    )
+    coll_build.add_argument(
+        "--shards", type=int, default=8, help="shard count (default %(default)s)"
+    )
+    coll_build.add_argument(
+        "--budget",
+        type=int,
+        default=1 << 20,
+        help="total synopsis bytes across all shards (default %(default)s)",
+    )
+    coll_build.add_argument(
+        "--structural-share",
+        type=float,
+        default=0.3,
+        help="B_str fraction of each payload budget (default %(default)s)",
+    )
+    coll_build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for distinct-structure builds (default %(default)s)",
+    )
+    coll_build.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="store uncompressed reference synopses (exact mode)",
+    )
+    coll_build.set_defaults(handler=_cmd_collection)
+
+    coll_rebalance = actions.add_parser(
+        "rebalance",
+        help="reallocate synopsis bytes toward shards a query log hits",
+    )
+    coll_rebalance.add_argument("root", help="built collection directory")
+    coll_rebalance.add_argument(
+        "--log",
+        required=True,
+        help="observed query log: JSON lines (or a JSON array) of "
+        '{"doc": <id>, "query": <xpath>}',
+    )
+    coll_rebalance.add_argument("--workers", type=int, default=1)
+    coll_rebalance.set_defaults(handler=_cmd_collection)
+
+    coll_stats = actions.add_parser(
+        "stats", help="print a collection's manifest and serving counters"
+    )
+    coll_stats.add_argument("root", help="built collection directory")
+    coll_stats.add_argument(
+        "--json", action="store_true", help="emit the stats as JSON"
+    )
+    coll_stats.add_argument(
+        "--verify",
+        action="store_true",
+        help="hash-verify every container against the manifest first",
+    )
+    coll_stats.set_defaults(handler=_cmd_collection)
+
+    coll_export = actions.add_parser(
+        "export", help="dump the collection as edge-model CSV tables"
+    )
+    coll_export.add_argument("root", help="built collection directory")
+    coll_export.add_argument(
+        "--edge-model",
+        required=True,
+        metavar="OUT_DIR",
+        help="destination directory for shards/documents/nodes/edges CSVs",
+    )
+    coll_export.set_defaults(handler=_cmd_collection)
     return parser
 
 

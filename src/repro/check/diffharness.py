@@ -155,6 +155,13 @@ class DocumentConfig:
     max_text_terms: int = 4
 
 
+def _graft_subtree(parent: XMLElement, source: XMLElement) -> None:
+    """Deep-copy ``source`` (from another tree) as a child of ``parent``."""
+    node = parent.add(source.label, source.value)
+    for child in source.children:
+        _graft_subtree(node, child)
+
+
 class DocumentGenerator:
     """Seeded random XML documents (see :class:`DocumentConfig`)."""
 
@@ -1167,6 +1174,167 @@ class DifferentialHarness:
                     failure.shrunk_query = shrunk.to_xpath()
                 failures.append(failure)
         return failures
+
+    # -- collection rounds (python -m repro check --collection) -------------
+
+    def run_collection(self) -> CheckReport:
+        """Collection-store rounds: shard routing vs a monolithic oracle.
+
+        Each round builds a real on-disk collection (exact mode, no
+        compression) from seeded random documents with repeated
+        structures, then requires, per structural workload query:
+
+        * **routed parity** — ``store.estimate(doc_id, q)`` bit-equals
+          the estimate of a synopsis built directly from that document
+          (the snapshot/container/routing stack adds zero drift);
+        * **oracle parity** — the collection-wide exact sum equals both
+          the summed per-document interval-join counts and the estimate
+          of one monolithic synopsis built over the merged document
+          (via :func:`~repro.collection.rollup.merged_document_events`).
+
+        Queries whose merged-document count differs from the per-document
+        sum (root-binding twigs: merging documents under one shared root
+        changes their semantics) are skipped — additivity is the
+        precondition of the oracle, not a claim about such queries.
+        """
+        master = random.Random(self.config.seed)
+        report = CheckReport(seed=self.config.seed)
+        for _ in range(self.config.rounds):
+            round_seed = master.randrange(2**32)
+            try:
+                report.extend(self.run_collection_round(round_seed))
+            except Exception:  # noqa: BLE001 - a crash IS a finding
+                report.failures.append(
+                    Failure(
+                        kind="crash",
+                        seed=round_seed,
+                        message=traceback.format_exc(limit=6).strip(),
+                    )
+                )
+                report.rounds += 1
+        return report
+
+    def run_collection_round(self, seed: int) -> CheckReport:
+        """One collection round, reproducible from ``seed``."""
+        import tempfile
+
+        from repro.collection import (
+            CollectionConfig,
+            CollectionStore,
+            build_collection,
+            merged_document_events,
+        )
+        from repro.xmltree.columnar import from_events
+
+        report = CheckReport(rounds=1)
+        rng = random.Random(seed)
+        sources = [
+            serialize(self.documents.generate(rng)) for _ in range(4)
+        ]
+        documents = [
+            (f"doc-{index:03d}", sources[rng.randrange(len(sources))])
+            for index in range(10)
+        ]
+
+        # The monolithic oracle: one merged document, built through the
+        # same event-splice a monolithic ingest of the corpus would see.
+        merged_doc = from_events(
+            merged_document_events(xml for _, xml in documents),
+            text_word_threshold=2,
+        )
+        merged_reference = build_reference_synopsis(
+            merged_doc, merged_doc.value_paths()
+        )
+        merged_estimator = CompiledEstimator(merged_reference)
+        merged_exact = IntervalEvaluator(merged_doc)
+
+        # Workload over the merged shape, structural queries only (value
+        # summaries are sampled, so only structure is exactly additive).
+        parsed = {
+            xml: parse_string(xml, text_word_threshold=2)
+            for xml in sources
+        }
+        merged_root = XMLElement(parsed[documents[0][1]].root.label)
+        for _, xml in documents:
+            for child in parsed[xml].root.children:
+                _graft_subtree(merged_root, child)
+        merged_tree = XMLTree(merged_root)
+        dataset = Dataset(
+            "collection-fuzz", merged_tree, merged_tree.value_paths()
+        )
+        queries = [
+            query for query in self._workload(dataset, rng)
+            if query.is_structural
+        ]
+        report.queries_checked = len(queries)
+
+        # Per-distinct direct estimators and exact evaluators — the
+        # "no collection machinery" baseline.
+        direct: Dict[str, CompiledEstimator] = {}
+        exact: Dict[str, IntervalEvaluator] = {}
+        for _, xml in documents:
+            if xml in direct:
+                continue
+            doc = ingest_string(xml, text_word_threshold=2)
+            direct[xml] = CompiledEstimator(
+                build_reference_synopsis(doc, doc.value_paths())
+            )
+            exact[xml] = IntervalEvaluator(doc)
+
+        with tempfile.TemporaryDirectory() as root:
+            build_collection(
+                root,
+                documents,
+                CollectionConfig(shard_count=3, compress=False),
+            )
+            store = CollectionStore(root, max_open_shards=2, verify=True)
+            for query in queries:
+                for doc_id, xml in documents:
+                    routed = store.estimate(doc_id, query)
+                    expected = direct[xml].estimate(query)
+                    if routed != expected:
+                        report.failures.append(
+                            Failure(
+                                kind="collection-divergence",
+                                seed=seed,
+                                message=(
+                                    f"routed estimate for {doc_id} is "
+                                    f"{routed!r} but the direct synopsis "
+                                    f"gives {expected!r} (bit-exact "
+                                    f"required)"
+                                ),
+                                query=query.to_xpath(),
+                            )
+                        )
+                exact_sum = sum(
+                    exact[xml].selectivity(query) for _, xml in documents
+                )
+                if merged_exact.selectivity(query) != exact_sum:
+                    continue  # root-binding twig: additivity doesn't apply
+                collection_estimate = store.estimate_collection(query)
+                oracle_estimate = merged_estimator.estimate(query)
+                scale = max(1.0, abs(float(exact_sum)))
+                for name, actual in (
+                    ("exact per-document sum", float(exact_sum)),
+                    ("monolithic merged-document synopsis", oracle_estimate),
+                ):
+                    if (
+                        abs(collection_estimate - actual)
+                        > self.config.tolerance * scale
+                    ):
+                        report.failures.append(
+                            Failure(
+                                kind="collection-divergence",
+                                seed=seed,
+                                message=(
+                                    f"collection-wide estimate "
+                                    f"{collection_estimate!r} diverges from "
+                                    f"the {name} {actual!r}"
+                                ),
+                                query=query.to_xpath(),
+                            )
+                        )
+        return report
 
 
 def run_differential_check(

@@ -1,0 +1,70 @@
+"""Directory-of-snapshots collection store (multi-document serving).
+
+The collection tier generalizes the single-snapshot serving story to a
+corpus: documents are routed to shards by a stable content-independent
+hash of their id, each shard keeps one mmap-able container of snapshot
+payloads (deduplicated by document content hash), a versioned JSON
+manifest ties the directory together, and a merged rollup synopsis
+answers cross-collection questions without opening any shard.
+
+Modules:
+    manifest  — the versioned manifest, atomic writes, typed errors.
+    store     — shard container format, readers, the LRU'd store.
+    build     — parallel dedup build and workload-driven rebalance.
+    budget    — query-log clustering and bytes-conserving multipliers.
+    rollup    — merged rollup synopsis and the merged-document oracle.
+    export    — edge-model CSV dump.
+"""
+
+from repro.collection.budget import (
+    ClusteredLog,
+    QueryCluster,
+    autobudget_sample,
+    cluster_log,
+    shard_multipliers,
+)
+from repro.collection.build import (
+    BuildReport,
+    CollectionConfig,
+    build_collection,
+    rebalance_collection,
+)
+from repro.collection.export import export_edge_model
+from repro.collection.manifest import (
+    CollectionFormatError,
+    CollectionManifest,
+    ShardEntry,
+    load_manifest,
+    save_manifest,
+    verify_collection,
+)
+from repro.collection.rollup import merge_rollup, merged_document_events
+from repro.collection.store import (
+    CollectionStore,
+    ShardReader,
+    shard_for_doc,
+)
+
+__all__ = [
+    "BuildReport",
+    "ClusteredLog",
+    "CollectionConfig",
+    "CollectionFormatError",
+    "CollectionManifest",
+    "CollectionStore",
+    "QueryCluster",
+    "ShardEntry",
+    "ShardReader",
+    "autobudget_sample",
+    "build_collection",
+    "cluster_log",
+    "export_edge_model",
+    "load_manifest",
+    "merge_rollup",
+    "merged_document_events",
+    "rebalance_collection",
+    "save_manifest",
+    "shard_for_doc",
+    "shard_multipliers",
+    "verify_collection",
+]

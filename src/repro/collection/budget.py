@@ -1,0 +1,204 @@
+"""Workload-driven budget allocation across shards.
+
+The Materialized View Selection idea (PAPERS.md), applied to synopsis
+bytes: cluster the observed query log, measure how much of it each
+shard absorbs, and hand hot shards proportionally bigger budgets.  The
+pieces:
+
+* :func:`cluster_log` groups log entries by their compiled twig-plan
+  *signature* — the same name-free structural key the serving tier
+  coalesces on — and routes each entry to its document's shard, so the
+  result is both a per-shard heat map and a ranked list of distinct
+  query shapes with representative queries (the sample
+  :mod:`repro.core.autobudget` needs).
+* :func:`shard_multipliers` turns shard heat into per-shard budget
+  multipliers under a **conservation constraint**: the element-weighted
+  mean multiplier is 1, so a reallocated collection spends the same
+  total bytes as the uniform one (rounding aside) — which is what makes
+  the uniform-vs-workload error comparison in the benchmark a
+  same-cost comparison.  Cold shards are clamped to
+  :data:`MULTIPLIER_FLOOR` (an estimate for a cold document should
+  degrade, not disappear).
+* :func:`autobudget_sample` converts one shard's log cluster into the
+  ``(query, exact)`` pairs :func:`~repro.core.autobudget.allocate_budget`
+  scores candidate B_str/B_val splits on.  The collection stores no
+  raw documents, so "exact" is the detailed reference synopsis's
+  estimate — the best ground truth the tier retains, and the exact
+  quantity compression error is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimation.plan import compile_query
+from repro.query.ast import TwigQuery
+
+#: No shard's budget multiplier falls below this, however cold it is.
+MULTIPLIER_FLOOR = 0.25
+
+#: And none rises above this, however hot.
+MULTIPLIER_CAP = 8.0
+
+
+@dataclass
+class QueryCluster:
+    """One distinct query shape observed in the log."""
+
+    representative: TwigQuery
+    count: int = 0
+    #: Hits per shard id for this shape.
+    shard_counts: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ClusteredLog:
+    """The clustered query log: shapes ranked by mass, heat by shard."""
+
+    clusters: List[QueryCluster]
+    shard_heat: Dict[int, int]
+    total: int
+
+    def hot_shards(self) -> List[int]:
+        """Shard ids that absorbed any traffic, hottest first."""
+        return [
+            shard_id
+            for shard_id, heat in sorted(
+                self.shard_heat.items(), key=lambda item: (-item[1], item[0])
+            )
+            if heat > 0
+        ]
+
+    def shard_queries(self, shard_id: int, limit: int = 12) -> List[TwigQuery]:
+        """Representative queries hitting one shard, heaviest shapes first."""
+        ranked = sorted(
+            (
+                (cluster.shard_counts.get(shard_id, 0), index)
+                for index, cluster in enumerate(self.clusters)
+            ),
+            key=lambda item: (-item[0], item[1]),
+        )
+        return [
+            self.clusters[index].representative
+            for count, index in ranked[:limit]
+            if count > 0
+        ]
+
+
+def cluster_log(
+    log: Sequence[Tuple[str, TwigQuery]], shard_of
+) -> ClusteredLog:
+    """Group ``(doc_id, query)`` log entries by plan signature.
+
+    Args:
+        log: the observed query log.
+        shard_of: ``doc_id -> shard_id`` (the store's router).
+    """
+    clusters: Dict[object, QueryCluster] = {}
+    shard_heat: Dict[int, int] = {}
+    for doc_id, query in log:
+        signature = compile_query(query).signature
+        cluster = clusters.get(signature)
+        if cluster is None:
+            cluster = clusters[signature] = QueryCluster(query)
+        shard_id = shard_of(doc_id)
+        cluster.count += 1
+        cluster.shard_counts[shard_id] = (
+            cluster.shard_counts.get(shard_id, 0) + 1
+        )
+        shard_heat[shard_id] = shard_heat.get(shard_id, 0) + 1
+    ranked = sorted(
+        clusters.values(), key=lambda cluster: -cluster.count
+    )
+    return ClusteredLog(ranked, shard_heat, len(log))
+
+
+def shard_multipliers(
+    shard_weights: Dict[int, int],
+    shard_heat: Dict[int, int],
+    floor: float = MULTIPLIER_FLOOR,
+    cap: float = MULTIPLIER_CAP,
+) -> Dict[int, float]:
+    """Per-shard budget multipliers from observed heat, bytes-conserving.
+
+    Args:
+        shard_weights: distinct-structure element counts per shard (the
+            quantity uniform budgets are proportional to).
+        shard_heat: query hits per shard from :func:`cluster_log`.
+
+    Returns:
+        ``shard_id -> multiplier`` with every value in ``[floor, cap]``
+        and the weight-weighted mean equal to 1 (up to the clamp), so
+        reallocation moves bytes between shards without changing their
+        total.  An empty or all-cold log yields all-1.0 (uniform).
+    """
+    total_weight = sum(shard_weights.values())
+    total_heat = sum(shard_heat.get(s, 0) for s in shard_weights)
+    if total_weight <= 0 or total_heat <= 0:
+        return {shard_id: 1.0 for shard_id in shard_weights}
+
+    # Raw multiplier: the shard's share of traffic over its share of
+    # data.  A shard receiving traffic exactly proportional to its size
+    # gets 1.0.
+    raw = {
+        shard_id: (
+            (shard_heat.get(shard_id, 0) / total_heat)
+            / (weight / total_weight)
+            if weight > 0
+            else 1.0
+        )
+        for shard_id, weight in shard_weights.items()
+    }
+    multipliers = {
+        shard_id: min(cap, max(floor, value)) for shard_id, value in raw.items()
+    }
+    # Waterfill the conservation constraint: clamping changes the total,
+    # so repeatedly rescale the shards that still have clamp headroom in
+    # the needed direction until the weighted mean is 1 again (or every
+    # shard is pinned at a bound, when exact conservation is infeasible).
+    for _ in range(16):
+        spent = sum(multipliers[s] * shard_weights[s] for s in shard_weights)
+        deficit = total_weight - spent
+        if abs(deficit) <= 1e-9 * total_weight:
+            break
+        adjustable = [
+            shard_id
+            for shard_id, value in multipliers.items()
+            if shard_weights[shard_id] > 0
+            and (value < cap if deficit > 0 else value > floor)
+        ]
+        if not adjustable:
+            break
+        adjustable_spend = sum(
+            multipliers[s] * shard_weights[s] for s in adjustable
+        )
+        scale = 1.0 + deficit / adjustable_spend
+        for shard_id in adjustable:
+            multipliers[shard_id] = min(
+                cap, max(floor, multipliers[shard_id] * scale)
+            )
+    return {
+        shard_id: round(value, 6) for shard_id, value in multipliers.items()
+    }
+
+
+def autobudget_sample(
+    reference, queries: Sequence[TwigQuery], limit: int = 12
+) -> List[Tuple[TwigQuery, int]]:
+    """``(query, exact)`` pairs for the B_str/B_val ratio search.
+
+    "Exact" counts come from the stored *reference* snapshot of the
+    shard's dominant structure — the detailed synopsis compression
+    degrades from, and the only ground truth a documentless store can
+    offer.  Zero-count shapes are kept (autobudget's sanity bound
+    handles them) unless everything is zero, in which case the caller
+    should skip the search.
+    """
+    from repro.core.estimation.engine import CompiledEstimator
+
+    estimator = CompiledEstimator(reference)
+    sample: List[Tuple[TwigQuery, int]] = []
+    for query in list(queries)[:limit]:
+        sample.append((query, int(round(estimator.estimate(query)))))
+    return sample

@@ -1,0 +1,137 @@
+"""The merged global rollup synopsis and the merged-document oracle.
+
+Two rollup semantics coexist in the collection tier, and they serve
+different masters:
+
+* **Exact sum** (``CollectionStore.estimate_collection``): a twig's
+  collection-wide selectivity is the multiplicity-weighted sum of its
+  per-structure estimates.  For structural queries this is *exactly*
+  additive — each document contributes its own matches and a reference
+  synopsis is exact on branching path queries — so the sum equals the
+  estimate a monolithic synopsis over the merged document would give,
+  which is the parity the harness and benchmarks assert to zero drift.
+* **Merged rollup synopsis** (:func:`merge_rollup`): one small graph
+  answering cross-collection questions without touching any shard.  It
+  is the multiplicity-scaled union of every distinct payload graph with
+  all the root clusters fused through the paper's ``merge`` operation
+  (weighted-average outgoing / summed incoming edge counts), value
+  summaries dropped — a *structural* rollup.  Estimates against it are
+  per average document (the estimator anchors one virtual root above
+  the fused root cluster), so the store scales them by the root count.
+  This path is approximate: fusing roots mixes the per-structure child
+  distributions, exactly like any synopsis merge; its error is
+  recorded by the benchmark, never asserted.
+
+:func:`merged_document_events` is the oracle's substrate: it splices
+the token streams of many single-root documents under the first
+document's root element, producing the event stream of the one big
+document a monolithic build would have summarized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.synopsis import SynopsisNode, XClusterSynopsis
+from repro.xmltree.events import END, START, iter_events
+
+
+def merged_document_events(sources: Iterable[str]) -> Iterator[tuple]:
+    """Token stream of all ``sources`` merged under one shared root.
+
+    Every source document's children are re-parented under the first
+    document's root element; the merged stream is exactly what a
+    monolithic ingest of the concatenated collection would see.  All
+    sources must have the same root label (the stream would otherwise
+    describe a different collection than the per-document builds).
+    """
+    first = True
+    root_label: Optional[str] = None
+    for xml in sources:
+        events = iter_events(xml)
+        try:
+            event = next(events)
+        except StopIteration:  # pragma: no cover - empty source
+            continue
+        if event[0] != START:  # pragma: no cover - tokenizer contract
+            raise ValueError("document stream does not open with an element")
+        if first:
+            root_label = event[1]
+            yield event
+            first = False
+        elif event[1] != root_label:
+            raise ValueError(
+                f"cannot merge root {event[1]!r} under root {root_label!r}"
+            )
+        depth = 1
+        for event in events:
+            if event[0] == START:
+                depth += 1
+            elif event[0] == END:
+                depth -= 1
+                if depth == 0:
+                    break
+            yield event
+    if root_label is not None:
+        yield (END, root_label)
+
+
+def merge_rollup(
+    payloads: Sequence[Tuple[XClusterSynopsis, int]]
+) -> Optional[XClusterSynopsis]:
+    """Fuse distinct payload synopses into one collection-wide graph.
+
+    Args:
+        payloads: ``(synopsis, multiplicity)`` pairs, one per distinct
+            structure (each synopsis is left untouched).
+
+    Returns:
+        The rollup synopsis, or ``None`` when the payload roots are not
+        merge-compatible (different labels or value types) — a
+        collection of heterogeneous corpora keeps only the exact-sum
+        path, and the manifest records no rollup.
+
+    Every node is copied with ``count × multiplicity`` (edge averages
+    are per-parent and unaffected by scaling); value summaries are
+    dropped — their internal counts cannot be scaled without re-reading
+    the values, so the rollup answers structural questions only.  Root
+    clusters are then fused pairwise with
+    :meth:`~repro.core.synopsis.XClusterSynopsis.merge_nodes`, whose
+    count-weighted edge semantics make the fused root's child averages
+    the document-weighted mean across structures.
+    """
+    pairs = [(synopsis, multiplicity) for synopsis, multiplicity in payloads]
+    if not pairs:
+        return None
+    root_keys = set()
+    for synopsis, _ in pairs:
+        if synopsis.root_id is None:
+            return None
+        root_keys.add(synopsis.root.merge_key())
+    if len(root_keys) != 1:
+        return None
+
+    rollup = XClusterSynopsis()
+    root_ids: List[int] = []
+    for synopsis, multiplicity in pairs:
+        id_map = {}
+        for node in sorted(synopsis, key=lambda n: n.node_id):
+            copied = rollup.add_node(
+                node.label, node.value_type, node.count * multiplicity, None
+            )
+            id_map[node.node_id] = copied
+        for node in sorted(synopsis, key=lambda n: n.node_id):
+            for child_id in sorted(node.children):
+                rollup.add_edge(
+                    id_map[node.node_id],
+                    id_map[child_id],
+                    node.children[child_id],
+                )
+        root_ids.append(id_map[synopsis.root_id].node_id)
+
+    rollup.set_root(rollup.node(root_ids[0]))
+    merged_root = root_ids[0]
+    for other in root_ids[1:]:
+        merged_root = rollup.merge_nodes(merged_root, other).node_id
+    rollup.set_root(rollup.node(merged_root))
+    return rollup

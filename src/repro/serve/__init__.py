@@ -20,10 +20,12 @@ path: load is mmap-backed and lazy, and under the ``fork`` pool start
 method workers share the loaded pages copy-on-write.
 """
 
+from repro.serve.collection import CollectionServeEngine
 from repro.serve.engine import PlanCoalescer, ServeEngine, ServingStats
 from repro.serve.http import ServeClient, SynopsisServer, run_server
 
 __all__ = [
+    "CollectionServeEngine",
     "PlanCoalescer",
     "ServeEngine",
     "ServingStats",

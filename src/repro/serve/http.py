@@ -231,6 +231,46 @@ class SynopsisServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _estimate_routed(self, payload: Any, query: Any) -> float:
+        """Route one ``/estimate`` body: by document id, rollup, or whole.
+
+        ``{"doc": <id>}`` asks for the document's own synopsis and
+        ``{"scope": "rollup"}`` for the merged rollup — both only exist
+        on collection-backed engines (``repro serve --collection``);
+        other engines answer 400 so the client learns the capability
+        gap rather than silently getting a different quantity.
+        """
+        doc_id = payload.get("doc") if isinstance(payload, dict) else None
+        scope = payload.get("scope") if isinstance(payload, dict) else None
+        if scope not in (None, "collection", "rollup"):
+            raise _HttpError(400, f"unknown scope {scope!r}")
+        if doc_id is not None:
+            if not isinstance(doc_id, str):
+                raise _HttpError(400, "'doc' must be a document id string")
+            estimate_doc = getattr(self.engine, "estimate_doc", None)
+            if estimate_doc is None:
+                self.engine.stats.errors += 1
+                raise _HttpError(
+                    400,
+                    "this engine does not route by document id; start the "
+                    "daemon with `repro serve --collection`",
+                )
+            try:
+                return await estimate_doc(doc_id, query)
+            except KeyError as err:
+                raise _HttpError(404, str(err.args[0]) if err.args else str(err))
+        if scope == "rollup":
+            estimate_rollup = getattr(self.engine, "estimate_rollup", None)
+            if estimate_rollup is None:
+                self.engine.stats.errors += 1
+                raise _HttpError(
+                    400,
+                    "this engine has no rollup; start the daemon with "
+                    "`repro serve --collection`",
+                )
+            return await estimate_rollup(query)
+        return await self.engine.estimate(query)
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
@@ -251,7 +291,7 @@ class SynopsisServer:
             except ValueError as err:
                 self.engine.stats.errors += 1
                 raise _HttpError(400, str(err))
-            estimate = await self.engine.estimate(query)
+            estimate = await self._estimate_routed(payload, query)
             response: Dict[str, Any] = {"estimate": estimate}
             if isinstance(payload, dict) and "user" in payload:
                 response["user"] = payload["user"]

@@ -93,6 +93,32 @@ class TestValidator:
         issues = common.validate_report(report)
         assert any(field in issue for issue in issues)
 
+    def test_per_shard_fields_accept_collection_shapes(self):
+        report = _valid_report()
+        report.update(
+            shard_count=8,
+            zipf_skew=1.1,
+            budget_distribution=[131072, 65536.0, 65536],
+        )
+        assert common.validate_report(report) == []
+
+    def test_shard_count_must_be_an_int(self):
+        report = _valid_report()
+        report["shard_count"] = 8.0
+        assert common.validate_report(report)
+
+    def test_budget_distribution_elements_are_type_checked(self):
+        report = _valid_report()
+        report["budget_distribution"] = [1024, "big"]
+        issues = common.validate_report(report)
+        assert any("budget_distribution" in issue for issue in issues)
+
+    def test_budget_distribution_elements_reject_bools(self):
+        report = _valid_report()
+        report["budget_distribution"] = [True, 1024]
+        issues = common.validate_report(report)
+        assert any("budget_distribution" in issue for issue in issues)
+
     def test_floor_asserted_flags_must_be_bools_not_numbers(self):
         report = _valid_report()
         report["speedup_asserted"] = 1
